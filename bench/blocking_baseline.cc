@@ -1,0 +1,74 @@
+// Blocking baseline vs non-blocking transformation (paper §1 motivation):
+// "For tables with large amounts of data, the insert into select method
+// could easily take tens of minutes" — i.e. the user-visible pause of the
+// blocking method grows linearly with table size, while the non-blocking
+// framework's pause (the final sync latch) stays roughly constant and tiny.
+
+#include <cstdio>
+#include <future>
+
+#include "bench/harness/bench_util.h"
+#include "engine/blocking_transform.h"
+
+using namespace morph;
+using namespace morph::bench;
+
+int main() {
+  PrintHeader(
+      "Blocking insert-into-select window vs non-blocking sync pause "
+      "(split, by table size)");
+  std::printf("%-10s %20s %22s %10s\n", "rows", "blocking_window_ms",
+              "nonblocking_pause_ms", "speedup");
+  for (int64_t rows : {5'000, 20'000, 50'000, 100'000}) {
+    // Blocking: latch T, split, write out.
+    double blocking_ms = 0;
+    {
+      SplitScenario scenario =
+          SplitScenario::Make(rows, std::max<int64_t>(rows * 2 / 5, 1));
+      auto r_schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                                     {"grp", ValueType::kInt64, true},
+                                     {"pay", ValueType::kInt64, true}},
+                                    {"id"});
+      auto s_schema = *Schema::Make({{"grp", ValueType::kInt64, false},
+                                     {"city", ValueType::kString, true}},
+                                    {"grp"});
+      auto r_out = *scenario.db->CreateTable("r_out", std::move(r_schema));
+      auto s_out = *scenario.db->CreateTable("s_out", std::move(s_schema));
+      auto outcome = engine::BlockingTransform::Split(
+          scenario.db.get(), scenario.t.get(), {0, 1, 3}, {1, 2}, r_out.get(),
+          s_out.get());
+      blocking_ms = outcome->blocked_micros / 1000.0;
+    }
+    // Non-blocking: full transformation under a live 50%-ish load; the pause
+    // is only the sync latch.
+    double pause_ms = -1;
+    {
+      SplitScenario scenario =
+          SplitScenario::Make(rows, std::max<int64_t>(rows * 2 / 5, 1));
+      Workload workload(scenario.WorkloadFor(0.2, 2, 2000));
+      workload.Start();
+      transform::TransformConfig config;
+      config.drop_sources = false;
+      auto rules = scenario.MakeRules();
+      transform::TransformCoordinator coord(scenario.db.get(), rules, config);
+      auto stats_f = std::async(std::launch::async, [&] { return coord.Run(); });
+      auto stats = stats_f.get();
+      workload.Stop();
+      if (stats.ok() && stats->completed) {
+        pause_ms = stats->sync_latch_nanos / 1e6;
+      }
+    }
+    if (pause_ms < 0) {
+      std::printf("%-10lld %20.2f %22s %10s\n", static_cast<long long>(rows),
+                  blocking_ms, "-", "-");
+    } else {
+      std::printf("%-10lld %20.2f %22.3f %10.0fx\n",
+                  static_cast<long long>(rows), blocking_ms, pause_ms,
+                  blocking_ms / std::max(pause_ms, 0.001));
+    }
+  }
+  std::printf(
+      "\npaper shape: blocking window grows ~linearly with table size; the "
+      "non-blocking pause stays small and flat\n");
+  return 0;
+}

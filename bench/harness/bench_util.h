@@ -1,0 +1,256 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "bench/harness/workload.h"
+#include "common/clock.h"
+#include "engine/database.h"
+#include "transform/coordinator.h"
+#include "transform/foj.h"
+#include "transform/split.h"
+
+namespace morph::bench {
+
+/// \brief Paper-scale data (§6): the split tests insert 50 000 records into
+/// T, splitting into ~50 000 R records and 20 000 S records; the FOJ tests
+/// use 50 000 R records and 20 000 S records.
+inline constexpr int64_t kSplitRows = 50'000;
+inline constexpr int64_t kSplitGroups = 20'000;
+inline constexpr int64_t kFojRRows = 50'000;
+inline constexpr int64_t kFojSRows = 20'000;
+inline constexpr int64_t kDummyRows = 50'000;
+
+/// \brief The split-benchmark database: T(id, grp, city, pay) plus a dummy
+/// table absorbing the updates that do not target T (Figure 4c keeps the
+/// total workload constant that way).
+struct SplitScenario {
+  std::unique_ptr<engine::Database> db;
+  std::shared_ptr<storage::Table> t;
+  std::shared_ptr<storage::Table> dummy;
+  int64_t rows = kSplitRows;
+
+  static SplitScenario Make(int64_t rows = kSplitRows,
+                            int64_t groups = kSplitGroups) {
+    SplitScenario s;
+    s.rows = rows;
+    s.db = std::make_unique<engine::Database>();
+    auto t_schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                                   {"grp", ValueType::kInt64, true},
+                                   {"city", ValueType::kString, true},
+                                   {"pay", ValueType::kInt64, true}},
+                                  {"id"});
+    s.t = *s.db->CreateTable("t", t_schema);
+    s.dummy = *s.db->CreateTable("dummy", t_schema);
+    std::vector<Row> t_rows;
+    t_rows.reserve(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      const int64_t grp = i % groups;
+      t_rows.push_back(Row({i, grp, "city" + std::to_string(grp), int64_t{0}}));
+    }
+    if (!s.db->BulkLoad(s.t.get(), t_rows).ok()) std::abort();
+    std::vector<Row> d_rows;
+    d_rows.reserve(kDummyRows);
+    for (int64_t i = 0; i < kDummyRows; ++i) {
+      d_rows.push_back(Row({i, int64_t{0}, "d", int64_t{0}}));
+    }
+    if (!s.db->BulkLoad(s.dummy.get(), d_rows).ok()) std::abort();
+    return s;
+  }
+
+  transform::SplitSpec Spec(bool assume_consistent = true) const {
+    transform::SplitSpec spec;
+    spec.t_table = "t";
+    spec.r_columns = {"id", "grp", "pay"};
+    spec.s_columns = {"grp", "city"};
+    spec.split_columns = {"grp"};
+    spec.r_name = "t_r";
+    spec.s_name = "t_s";
+    spec.assume_consistent = assume_consistent;
+    return spec;
+  }
+
+  std::shared_ptr<transform::SplitRules> MakeRules(
+      bool assume_consistent = true) const {
+    auto rules = transform::SplitRules::Make(db.get(), Spec(assume_consistent));
+    if (!rules.ok()) std::abort();
+    return std::shared_ptr<transform::SplitRules>(std::move(rules).ValueOrDie());
+  }
+
+  /// Workload over T (weight `t_share`) and dummy (1 - t_share); both update
+  /// the `pay` column (index 3).
+  WorkloadConfig WorkloadFor(double t_share, size_t threads = 4,
+                             double target_tps = 0) const {
+    WorkloadConfig cfg;
+    cfg.db = db.get();
+    cfg.tables = {
+        {t.get(), rows, /*update_column=*/3, t_share},
+        {dummy.get(), kDummyRows, /*update_column=*/3, 1.0 - t_share},
+    };
+    cfg.num_threads = threads;
+    cfg.target_tps = target_tps;
+    return cfg;
+  }
+};
+
+/// \brief The FOJ-benchmark database: R(id, jv, pay) 50k rows, S(sid, jv,
+/// info) 20k rows (join attribute unique in S), plus the dummy table.
+struct FojScenario {
+  std::unique_ptr<engine::Database> db;
+  std::shared_ptr<storage::Table> r;
+  std::shared_ptr<storage::Table> s;
+  std::shared_ptr<storage::Table> dummy;
+  int64_t r_row_count = kFojRRows;
+
+  static FojScenario Make(int64_t r_rows = kFojRRows,
+                          int64_t s_rows = kFojSRows) {
+    FojScenario f;
+    f.r_row_count = r_rows;
+    f.db = std::make_unique<engine::Database>();
+    auto r_schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                                   {"jv", ValueType::kInt64, true},
+                                   {"pay", ValueType::kInt64, true}},
+                                  {"id"});
+    auto s_schema = *Schema::Make({{"sid", ValueType::kInt64, false},
+                                   {"jv", ValueType::kInt64, true},
+                                   {"info", ValueType::kInt64, true}},
+                                  {"sid"});
+    f.r = *f.db->CreateTable("r", std::move(r_schema));
+    f.s = *f.db->CreateTable("s", std::move(s_schema));
+    auto d_schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                                   {"pay", ValueType::kInt64, true}},
+                                  {"id"});
+    f.dummy = *f.db->CreateTable("dummy", std::move(d_schema));
+    std::vector<Row> rows;
+    rows.reserve(r_rows);
+    for (int64_t i = 0; i < r_rows; ++i) {
+      rows.push_back(Row({i, i % s_rows, int64_t{0}}));
+    }
+    if (!f.db->BulkLoad(f.r.get(), rows).ok()) std::abort();
+    rows.clear();
+    for (int64_t i = 0; i < s_rows; ++i) rows.push_back(Row({i, i, int64_t{0}}));
+    if (!f.db->BulkLoad(f.s.get(), rows).ok()) std::abort();
+    rows.clear();
+    for (int64_t i = 0; i < kDummyRows; ++i) rows.push_back(Row({i, int64_t{0}}));
+    if (!f.db->BulkLoad(f.dummy.get(), rows).ok()) std::abort();
+    return f;
+  }
+
+  std::shared_ptr<transform::FojRules> MakeRules() const {
+    transform::FojSpec spec;
+    spec.r_table = "r";
+    spec.s_table = "s";
+    spec.r_join_column = "jv";
+    spec.s_join_column = "jv";
+    spec.target_table = "t_joined";
+    auto rules = transform::FojRules::Make(db.get(), spec);
+    if (!rules.ok()) std::abort();
+    return std::shared_ptr<transform::FojRules>(std::move(rules).ValueOrDie());
+  }
+
+  WorkloadConfig WorkloadFor(double r_share, size_t threads = 4,
+                             double target_tps = 0) const {
+    WorkloadConfig cfg;
+    cfg.db = db.get();
+    cfg.tables = {
+        {r.get(), r_row_count, /*update_column=*/2, r_share},
+        {dummy.get(), kDummyRows, /*update_column=*/1, 1.0 - r_share},
+    };
+    cfg.num_threads = threads;
+    cfg.target_tps = target_tps;
+    return cfg;
+  }
+};
+
+/// \brief Waits (bounded) until the coordinator reaches at least `phase`.
+inline bool WaitForPhase(const transform::TransformCoordinator& coord,
+                         transform::TransformCoordinator::Phase phase,
+                         int64_t timeout_micros = 20'000'000) {
+  const auto deadline = Clock::Now() + std::chrono::microseconds(timeout_micros);
+  while (coord.phase() < phase) {
+    if (Clock::Now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+/// \brief Measures workload rates over a window of `window_micros` (or until
+/// `until_phase_leaves` is left, if given).
+inline WorkloadRates MeasureWindow(Workload* workload, int64_t window_micros) {
+  const WorkloadSnapshot a = workload->Snapshot();
+  std::this_thread::sleep_for(std::chrono::microseconds(window_micros));
+  const WorkloadSnapshot b = workload->Snapshot();
+  return Workload::RatesBetween(a, b);
+}
+
+/// \brief Peak throughput of the scenario's workload (100% workload in the
+/// paper's sense), measured without any transformation.
+inline double CalibratePeakTps(const WorkloadConfig& config,
+                               int64_t duration_micros = 1'200'000) {
+  return MeasurePeak(config, duration_micros).tps;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// \brief Median of a sample (used to de-noise repeated interference
+/// measurements on a shared host).
+inline double MedianOf(std::vector<double> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2;
+}
+
+/// \brief Background log archiver for long benchmark runs.
+///
+/// The workload appends hundreds of thousands of log records per second; an
+/// unbounded in-memory WAL would keep growing and skew measurements through
+/// allocator pressure. Real systems archive/truncate the log past the
+/// checkpoint; here the janitor periodically drops everything more than
+/// `margin` records behind the tail, additionally clamped below the
+/// coordinator's propagation point when a transformation is active.
+class WalJanitor {
+ public:
+  explicit WalJanitor(wal::Wal* wal, size_t margin = 200'000)
+      : wal_(wal), margin_(margin) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~WalJanitor() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+  /// \brief Protects the records an active transformation still needs.
+  void SetCoordinator(const transform::TransformCoordinator* coord) {
+    coord_.store(coord, std::memory_order_release);
+  }
+
+ private:
+  void Loop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const Lsn last = wal_->LastLsn();
+      if (last <= margin_) continue;
+      Lsn target = last - margin_;
+      if (const auto* coord = coord_.load(std::memory_order_acquire)) {
+        const Lsn floor = coord->propagated_lsn();
+        if (floor != kInvalidLsn) target = std::min(target, floor);
+      }
+      wal_->TruncateBefore(target);
+    }
+  }
+
+  wal::Wal* wal_;
+  const size_t margin_;
+  std::atomic<bool> stop_{false};
+  std::atomic<const transform::TransformCoordinator*> coord_{nullptr};
+  std::thread thread_;
+};
+
+}  // namespace morph::bench

@@ -1,0 +1,186 @@
+#include "bench/harness/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace morph::bench {
+
+size_t LatencyHistogram::BucketFor(int64_t micros) {
+  constexpr size_t kBuckets = 24;
+  if (micros <= 1) return 0;
+  const size_t b = static_cast<size_t>(std::log2(static_cast<double>(micros)));
+  return std::min(b, kBuckets - 1);
+}
+
+void LatencyHistogram::Add(int64_t micros) { buckets[BucketFor(micros)]++; }
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t n = 0;
+  for (uint64_t b : buckets) n += b;
+  return n;
+}
+
+double LatencyHistogram::QuantileMicros(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) return std::pow(2.0, static_cast<double>(i + 1));
+  }
+  return std::pow(2.0, static_cast<double>(buckets.size()));
+}
+
+Workload::Workload(WorkloadConfig config) : config_(std::move(config)) {
+  states_.reserve(config_.num_threads);
+  for (size_t i = 0; i < config_.num_threads; ++i) {
+    states_.push_back(std::make_unique<ThreadState>());
+  }
+}
+
+Workload::~Workload() { Stop(); }
+
+void Workload::Start() {
+  stop_.store(false, std::memory_order_release);
+  threads_.reserve(config_.num_threads);
+  for (size_t i = 0; i < config_.num_threads; ++i) {
+    threads_.emplace_back([this, i] { ClientLoop(i); });
+  }
+}
+
+void Workload::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Workload::ClientLoop(size_t thread_idx) {
+  ThreadState& state = *states_[thread_idx];
+  Random rng(config_.seed * 1000003 + thread_idx);
+
+  // Cumulative weights for table choice.
+  std::vector<double> cumulative;
+  double total = 0;
+  for (const WorkloadTable& t : config_.tables) {
+    total += t.weight;
+    cumulative.push_back(total);
+  }
+
+  // Pacing: each thread owns target_tps / num_threads transactions/second.
+  const double per_thread_tps =
+      config_.target_tps > 0
+          ? config_.target_tps / static_cast<double>(config_.num_threads)
+          : 0;
+  const int64_t period_micros =
+      per_thread_tps > 0 ? static_cast<int64_t>(1e6 / per_thread_tps) : 0;
+  auto next_due = Clock::Now();
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (period_micros > 0) {
+      next_due += std::chrono::microseconds(period_micros);
+      const auto now = Clock::Now();
+      if (next_due > now) {
+        std::this_thread::sleep_for(next_due - now);
+      } else if (now - next_due > std::chrono::seconds(1)) {
+        // Genuinely overloaded (saturated): shed the accumulated debt.
+        // Short scheduling hiccups are instead repaid by catch-up bursts so
+        // the achieved rate stays pinned to the offered rate.
+        next_due = now;
+      }
+    }
+
+    const auto txn_start = Clock::Now();
+    auto txn = config_.db->Begin();
+    bool ok = true;
+    for (size_t u = 0; u < config_.updates_per_txn && ok; ++u) {
+      const double pick = rng.NextDouble() * total;
+      size_t ti = 0;
+      while (ti + 1 < cumulative.size() && pick > cumulative[ti]) ++ti;
+      const WorkloadTable& wt = config_.tables[ti];
+      const int64_t key =
+          static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(wt.key_range)));
+      const Status st = config_.db->Update(
+          txn, wt.table, Row({key}),
+          {{wt.update_column, Value(static_cast<int64_t>(rng.Next() >> 32))}});
+      if (!st.ok()) ok = false;
+    }
+    if (ok) ok = config_.db->Commit(txn).ok();
+    if (!ok && !txn->finished()) (void)config_.db->Abort(txn);
+
+    const int64_t latency = Clock::MicrosSince(txn_start);
+    if (ok) {
+      state.committed.fetch_add(1, std::memory_order_relaxed);
+      state.response_sum_micros.fetch_add(latency, std::memory_order_relaxed);
+      state.response_count.fetch_add(1, std::memory_order_relaxed);
+      state.hist[LatencyHistogram::BucketFor(latency)].fetch_add(
+          1, std::memory_order_relaxed);
+    } else {
+      state.aborted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+WorkloadSnapshot Workload::Snapshot() const {
+  WorkloadSnapshot snap;
+  snap.at_micros = Clock::NowMicros();
+  for (const auto& state : states_) {
+    snap.committed += state->committed.load(std::memory_order_relaxed);
+    snap.aborted += state->aborted.load(std::memory_order_relaxed);
+    snap.response_sum_micros +=
+        state->response_sum_micros.load(std::memory_order_relaxed);
+    snap.response_count += state->response_count.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < snap.hist.buckets.size(); ++i) {
+      snap.hist.buckets[i] += state->hist[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+WorkloadRates Workload::RatesBetween(const WorkloadSnapshot& a,
+                                     const WorkloadSnapshot& b) {
+  WorkloadRates rates;
+  rates.seconds = static_cast<double>(b.at_micros - a.at_micros) / 1e6;
+  if (rates.seconds <= 0) return rates;
+  rates.committed = b.committed - a.committed;
+  rates.aborted = b.aborted - a.aborted;
+  rates.tps = static_cast<double>(rates.committed) / rates.seconds;
+  const uint64_t n = b.response_count - a.response_count;
+  if (n > 0) {
+    rates.avg_response_micros =
+        static_cast<double>(b.response_sum_micros - a.response_sum_micros) /
+        static_cast<double>(n);
+  }
+  LatencyHistogram window;
+  for (size_t i = 0; i < window.buckets.size(); ++i) {
+    window.buckets[i] = b.hist.buckets[i] - a.hist.buckets[i];
+  }
+  rates.p95_response_micros = window.QuantileMicros(0.95);
+  return rates;
+}
+
+WorkloadRates MeasurePeak(const WorkloadConfig& config,
+                          int64_t duration_micros) {
+  WorkloadConfig unpaced = config;
+  unpaced.target_tps = 0;
+  Workload workload(unpaced);
+  workload.Start();
+  // Warm-up.
+  std::this_thread::sleep_for(std::chrono::microseconds(duration_micros / 4));
+  const WorkloadSnapshot start = workload.Snapshot();
+  std::this_thread::sleep_for(std::chrono::microseconds(duration_micros));
+  const WorkloadSnapshot end = workload.Snapshot();
+  workload.Stop();
+  return Workload::RatesBetween(start, end);
+}
+
+}  // namespace morph::bench

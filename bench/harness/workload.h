@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "storage/table.h"
+
+namespace morph::bench {
+
+/// \brief One target table for the update workload.
+struct WorkloadTable {
+  storage::Table* table = nullptr;
+  /// Keys are int64 in [0, key_range); every row must exist (the workload
+  /// only updates, as in the paper's tests).
+  int64_t key_range = 0;
+  /// Column updated with a random int64.
+  size_t update_column = 0;
+  /// Relative probability of an update landing on this table.
+  double weight = 1.0;
+};
+
+/// \brief Workload configuration replicating the paper's §6 setup: "each
+/// transaction updated 10 records using record locks".
+struct WorkloadConfig {
+  engine::Database* db = nullptr;
+  std::vector<WorkloadTable> tables;
+  size_t updates_per_txn = 10;
+  size_t num_threads = 4;
+  /// Target offered load in transactions/second across all threads;
+  /// 0 = unpaced (as fast as possible). The paper scales workload by the
+  /// number of concurrent transactions; on this single-core host the
+  /// equivalent knob is the offered transaction rate relative to the
+  /// calibrated peak (see DESIGN.md substitutions).
+  double target_tps = 0;
+  uint64_t seed = 42;
+};
+
+/// \brief Latency histogram with ~24 logarithmic buckets (1 µs .. 8 s).
+struct LatencyHistogram {
+  std::array<uint64_t, 24> buckets{};
+
+  static size_t BucketFor(int64_t micros);
+  void Add(int64_t micros);
+  void Merge(const LatencyHistogram& other);
+  /// Approximate quantile (bucket upper bound), q in (0, 1].
+  double QuantileMicros(double q) const;
+  uint64_t count() const;
+};
+
+/// \brief Point-in-time counters, for windowed measurements.
+struct WorkloadSnapshot {
+  int64_t at_micros = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  int64_t response_sum_micros = 0;
+  uint64_t response_count = 0;
+  LatencyHistogram hist;
+};
+
+/// \brief Rates over a window between two snapshots.
+struct WorkloadRates {
+  double seconds = 0;
+  double tps = 0;
+  double avg_response_micros = 0;
+  double p95_response_micros = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+};
+
+/// \brief Multi-threaded update workload that runs until stopped.
+///
+/// Each client thread loops: begin, update `updates_per_txn` random records
+/// (exclusive record locks via the engine), commit; aborts (wait-die losers
+/// or transformation-doomed transactions) are counted and retried as fresh
+/// transactions. Response time is measured per transaction.
+class Workload {
+ public:
+  explicit Workload(WorkloadConfig config);
+  ~Workload();
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// \brief Snapshot of the global counters (threads keep running).
+  WorkloadSnapshot Snapshot() const;
+
+  /// \brief Rates over the window between two snapshots.
+  static WorkloadRates RatesBetween(const WorkloadSnapshot& a,
+                                    const WorkloadSnapshot& b);
+
+ private:
+  struct ThreadState {
+    std::atomic<uint64_t> committed{0};
+    std::atomic<uint64_t> aborted{0};
+    std::atomic<int64_t> response_sum_micros{0};
+    std::atomic<uint64_t> response_count{0};
+    // Histogram buckets, individually atomic.
+    std::array<std::atomic<uint64_t>, 24> hist{};
+  };
+
+  void ClientLoop(size_t thread_idx);
+
+  WorkloadConfig config_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<ThreadState>> states_;
+  std::vector<std::thread> threads_;
+};
+
+/// \brief Runs an unpaced workload for `duration_micros` and returns its
+/// rates (throughput calibration helper).
+WorkloadRates MeasurePeak(const WorkloadConfig& config, int64_t duration_micros);
+
+}  // namespace morph::bench

@@ -1,0 +1,245 @@
+// Substrate micro-benchmarks (google-benchmark): sanity/regression numbers
+// for the pieces the transformation framework is built on, plus the batch-
+// size ablation for the log propagator that DESIGN.md calls out.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "transform/foj.h"
+#include "transform/split.h"
+#include "txn/lock_manager.h"
+#include "wal/wal.h"
+
+namespace morph {
+namespace {
+
+Schema BenchSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64, false},
+                        {"grp", ValueType::kInt64, true},
+                        {"pay", ValueType::kInt64, true}},
+                       {"id"});
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  wal::Wal wal;
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kUpdate;
+  rec.txn_id = 1;
+  rec.table_id = 1;
+  rec.key = Row({int64_t{42}});
+  rec.updated_columns = {2};
+  rec.before_values = {Value(int64_t{1})};
+  rec.after_values = {Value(int64_t{2})};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.Append(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_LogRecordEncodeDecode(benchmark::State& state) {
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kInsert;
+  rec.txn_id = 7;
+  rec.table_id = 3;
+  rec.key = Row({int64_t{1}});
+  rec.after = Row({int64_t{1}, int64_t{2}, "payload-string"});
+  for (auto _ : state) {
+    std::string buf;
+    rec.EncodeTo(&buf);
+    size_t offset = 0;
+    auto decoded = wal::LogRecord::Decode(buf, &offset);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogRecordEncodeDecode);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  txn::LockManager lm;
+  int64_t key = 0;
+  for (auto _ : state) {
+    txn::RecordId rid{1, Row({key++ % 1024})};
+    benchmark::DoNotOptimize(lm.Acquire(1, rid, txn::LockMode::kExclusive));
+    lm.ReleaseAll(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_TableInsertDelete(benchmark::State& state) {
+  storage::Table table(1, "t", BenchSchema());
+  int64_t key = 0;
+  for (auto _ : state) {
+    storage::Record rec;
+    rec.row = Row({key, key % 100, int64_t{0}});
+    benchmark::DoNotOptimize(table.Insert(std::move(rec)));
+    benchmark::DoNotOptimize(table.Delete(Row({key})));
+    key++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableInsertDelete);
+
+void BM_TableGet(benchmark::State& state) {
+  storage::Table table(1, "t", BenchSchema());
+  for (int64_t i = 0; i < 100000; ++i) {
+    storage::Record rec;
+    rec.row = Row({i, i % 100, int64_t{0}});
+    (void)table.Insert(std::move(rec));
+  }
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Get(Row({static_cast<int64_t>(rng.Uniform(100000))})));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableGet);
+
+void BM_FuzzyScan(benchmark::State& state) {
+  storage::Table table(1, "t", BenchSchema());
+  const int64_t rows = state.range(0);
+  for (int64_t i = 0; i < rows; ++i) {
+    storage::Record rec;
+    rec.row = Row({i, i % 100, int64_t{0}});
+    (void)table.Insert(std::move(rec));
+  }
+  for (auto _ : state) {
+    size_t n = 0;
+    table.FuzzyScan([&](const storage::Record&) { n++; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_FuzzyScan)->Arg(10000)->Arg(50000);
+
+void BM_TransactionalUpdate(benchmark::State& state) {
+  engine::Database db;
+  auto table = *db.CreateTable("t", BenchSchema());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 10000; ++i) rows.push_back(Row({i, i % 100, int64_t{0}}));
+  (void)db.BulkLoad(table.get(), rows);
+  Random rng(1);
+  for (auto _ : state) {
+    auto txn = db.Begin();
+    for (int u = 0; u < 10; ++u) {
+      (void)db.Update(txn, table.get(),
+                      Row({static_cast<int64_t>(rng.Uniform(10000))}),
+                      {{2, Value(static_cast<int64_t>(rng.Next() >> 33))}});
+    }
+    (void)db.Commit(txn);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+  state.SetLabel("10-update txns (the paper's workload unit)");
+}
+BENCHMARK(BM_TransactionalUpdate);
+
+// Ablation: propagator batch size. A prepared log of update records is
+// replayed through the FOJ rules with different batch granularities; the
+// batch size trades throttling fidelity against per-batch overhead.
+void BM_PropagateFojUpdates(benchmark::State& state) {
+  engine::Database db;
+  auto r_schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                                 {"jv", ValueType::kInt64, true},
+                                 {"pay", ValueType::kInt64, true}},
+                                {"id"});
+  auto s_schema = *Schema::Make({{"sid", ValueType::kInt64, false},
+                                 {"jv", ValueType::kInt64, true},
+                                 {"info", ValueType::kInt64, true}},
+                                {"sid"});
+  auto r = *db.CreateTable("r", std::move(r_schema));
+  auto s = *db.CreateTable("s", std::move(s_schema));
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 20000; ++i) rows.push_back(Row({i, i % 5000, int64_t{0}}));
+  (void)db.BulkLoad(r.get(), rows);
+  rows.clear();
+  for (int64_t i = 0; i < 5000; ++i) rows.push_back(Row({i, i, int64_t{0}}));
+  (void)db.BulkLoad(s.get(), rows);
+
+  transform::FojSpec spec;
+  spec.r_table = "r";
+  spec.s_table = "s";
+  spec.r_join_column = "jv";
+  spec.s_join_column = "jv";
+  spec.target_table = "t_bench";
+  auto rules = std::move(transform::FojRules::Make(&db, spec)).ValueOrDie();
+  (void)rules->Prepare();
+  (void)rules->InitialPopulate();
+
+  Random rng(1);
+  std::vector<transform::Op> ops;
+  for (int i = 0; i < 4096; ++i) {
+    transform::Op op;
+    op.type = transform::OpType::kUpdate;
+    op.lsn = 1000 + i;
+    op.txn_id = 1;
+    op.table_id = r->id();
+    op.key = Row({static_cast<int64_t>(rng.Uniform(20000))});
+    op.updated_columns = {2};
+    op.before_values = {Value(int64_t{0})};
+    op.after_values = {Value(static_cast<int64_t>(i))};
+    ops.push_back(std::move(op));
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    (void)rules->Apply(ops[cursor++ & 4095], nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("rule-7 update propagation");
+}
+BENCHMARK(BM_PropagateFojUpdates);
+
+void BM_PropagateSplitInserts(benchmark::State& state) {
+  engine::Database db;
+  auto t_schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                                 {"grp", ValueType::kInt64, true},
+                                 {"city", ValueType::kString, true},
+                                 {"pay", ValueType::kInt64, true}},
+                                {"id"});
+  auto t = *db.CreateTable("t", std::move(t_schema));
+  transform::SplitSpec spec;
+  spec.t_table = "t";
+  spec.r_columns = {"id", "grp", "pay"};
+  spec.s_columns = {"grp", "city"};
+  spec.split_columns = {"grp"};
+  auto rules = std::move(transform::SplitRules::Make(&db, spec)).ValueOrDie();
+  (void)rules->Prepare();
+  (void)rules->InitialPopulate();
+
+  int64_t id = 0;
+  for (auto _ : state) {
+    transform::Op op;
+    op.type = transform::OpType::kInsert;
+    op.lsn = 10 + id;
+    op.txn_id = 1;
+    op.table_id = t->id();
+    op.key = Row({id});
+    op.after = Row({id, id % 1000, "c", int64_t{0}});
+    id++;
+    (void)rules->Apply(op, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("rule-8 insert propagation");
+}
+BENCHMARK(BM_PropagateSplitInserts);
+
+void BM_TransformLockMirror(benchmark::State& state) {
+  txn::TransformLockTable tl;
+  int64_t key = 0;
+  for (auto _ : state) {
+    tl.AddTransferred(1 + (key & 7), txn::RecordId{9, Row({key & 1023})},
+                      txn::LockOrigin::kSource0, txn::Access::kWrite);
+    if ((++key & 1023) == 0) {
+      for (TxnId t = 1; t <= 8; ++t) tl.ReleaseTxn(t);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformLockMirror);
+
+}  // namespace
+}  // namespace morph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// morph_shell — an interactive SQL shell over the morph engine, including
+// the online-transformation statements.
+//
+//   $ ./morph_shell            # interactive REPL (reads stdin)
+//   $ ./morph_shell --demo     # scripted demo of an online split
+//
+// Example session:
+//   morph> CREATE TABLE customers (id INT NOT NULL, name TEXT, zip INT,
+//          city TEXT, PRIMARY KEY (id));
+//   morph> INSERT INTO customers VALUES (1, 'Peter', 7050, 'Trondheim');
+//   morph> TRANSFORM SPLIT customers INTO customers_slim (id, name, zip),
+//          locations (zip, city) ON (zip) WITH PRIORITY 0.5;
+//   morph> SHOW TRANSFORM;
+//   morph> SELECT * FROM locations WHERE zip = 7050;
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "engine/database.h"
+#include "sql/executor.h"
+
+using namespace morph;
+
+namespace {
+
+int RunDemo(sql::Session* session) {
+  const char* script = R"sql(
+CREATE TABLE customers (id INT NOT NULL, name TEXT, zip INT, city TEXT,
+                        PRIMARY KEY (id));
+INSERT INTO customers VALUES
+  (1, 'Peter', 7050, 'Trondheim'),
+  (2, 'Mark', 5020, 'Bergen'),
+  (3, 'Gary', 50, 'Oslo'),
+  (134, 'Jen', 7050, 'Trondheim');
+SELECT * FROM customers;
+TRANSFORM SPLIT customers INTO customers_slim (id, name, zip),
+  locations (zip, city) ON (zip) WITH PRIORITY 0.8;
+)sql";
+  auto result = session->ExecuteScript(script);
+  if (!result.ok()) {
+    std::fprintf(stderr, "demo failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result->ToString().c_str());
+
+  // Keep updating while the transformation runs, then let it finish.
+  for (int i = 0; i < 50; ++i) {
+    auto r = session->Execute("UPDATE customers SET name = 'Peter J' WHERE id = 1");
+    if (!r.ok()) break;
+  }
+  auto finish = session->Execute("TRANSFORM FINISH");
+  if (finish.ok()) std::printf("%s\n", finish->ToString().c_str());
+
+  for (const char* q :
+       {"SHOW TABLES", "SELECT * FROM customers_slim WHERE zip = 7050",
+        "SELECT * FROM locations"}) {
+    auto r = session->Execute(q);
+    std::printf("morph> %s\n%s\n", q,
+                r.ok() ? r->ToString().c_str() : r.status().ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  engine::Database db;
+  sql::Session session(&db);
+
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    return RunDemo(&session);
+  }
+
+  std::printf("morph shell — type SQL, end statements with ';'\n");
+  std::printf("transformations: TRANSFORM JOIN/SPLIT/MERGE/HSPLIT ... ;\n");
+  std::string buffer;
+  std::string line;
+  std::printf("morph> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    buffer += line + "\n";
+    if (line.find(';') != std::string::npos) {
+      auto result = session.ExecuteScript(buffer);
+      buffer.clear();
+      if (result.ok()) {
+        std::printf("%s", result->ToString().c_str());
+        if (result->columns.empty() && result->message.empty()) {
+          std::printf("OK");
+        }
+        std::printf("\n");
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+    }
+    std::printf("morph> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Quickstart: perform an online, non-blocking full outer join transformation
+// while user transactions keep updating the source tables.
+//
+// The scenario follows the paper's Figure 1: two source tables R and S are
+// joined into one table T by a background transformation. User transactions
+// are never blocked for more than the sub-millisecond final synchronization
+// latch.
+
+#include <cstdio>
+#include <future>
+#include <thread>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "transform/coordinator.h"
+#include "transform/foj.h"
+
+using namespace morph;
+
+int main() {
+  engine::Database db;
+
+  // --- 1. Create and load the source tables --------------------------------
+  auto r_schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                                 {"dept", ValueType::kInt64, true},
+                                 {"name", ValueType::kString, true}},
+                                {"id"});
+  auto s_schema = *Schema::Make({{"dept", ValueType::kInt64, false},
+                                 {"dept_name", ValueType::kString, true}},
+                                {"dept"});
+  auto employees = *db.CreateTable("employees", std::move(r_schema));
+  auto departments = *db.CreateTable("departments", std::move(s_schema));
+
+  std::vector<Row> emp_rows;
+  for (int i = 0; i < 1000; ++i) {
+    emp_rows.push_back(Row({i, static_cast<int64_t>(i % 10),
+                            "employee-" + std::to_string(i)}));
+  }
+  std::vector<Row> dept_rows;
+  for (int d = 0; d < 10; ++d) {
+    dept_rows.push_back(Row({d, "dept-" + std::to_string(d)}));
+  }
+  if (!db.BulkLoad(employees.get(), emp_rows).ok() ||
+      !db.BulkLoad(departments.get(), dept_rows).ok()) {
+    std::fprintf(stderr, "bulk load failed\n");
+    return 1;
+  }
+  std::printf("loaded %zu employees, %zu departments\n", employees->size(),
+              departments->size());
+
+  // --- 2. Describe the transformation --------------------------------------
+  transform::FojSpec spec;
+  spec.r_table = "employees";
+  spec.s_table = "departments";
+  spec.r_join_column = "dept";
+  spec.s_join_column = "dept";
+  spec.target_table = "employees_denormalized";
+
+  auto rules = transform::FojRules::Make(&db, spec);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "spec error: %s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+  auto shared_rules =
+      std::shared_ptr<transform::FojRules>(std::move(rules).ValueOrDie());
+
+  transform::TransformConfig config;
+  config.strategy = transform::SyncStrategy::kNonBlockingAbort;
+  config.priority = 0.5;  // background duty cycle
+
+  transform::TransformCoordinator coordinator(&db, shared_rules, config);
+
+  // --- 3. Run it while user transactions keep writing ----------------------
+  // Hold synchronization open while the workload runs, so the transformation
+  // demonstrably overlaps live traffic; release it to let the DBA-chosen
+  // cut-over happen.
+  coordinator.SetSyncHold(true);
+  auto stats_future =
+      std::async(std::launch::async, [&] { return coordinator.Run(); });
+
+  size_t committed = 0;
+  size_t aborted = 0;
+  Random rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    // ~5k user transactions/second — a paced OLTP workload, not a tight loop.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    auto txn = db.Begin();
+    const int64_t id = static_cast<int64_t>(rng.Uniform(1000));
+    Status st = db.Update(txn, employees.get(), Row({id}),
+                          {{2, Value("renamed-" + std::to_string(id))}});
+    if (st.ok() && db.Commit(txn).ok()) {
+      committed++;
+    } else {
+      if (!txn->finished()) (void)db.Abort(txn);
+      aborted++;
+    }
+  }
+  coordinator.SetSyncHold(false);
+
+  auto stats = stats_future.get();
+  if (!stats.ok() || !stats->completed) {
+    std::fprintf(stderr, "transformation failed: %s\n",
+                 stats.ok() ? stats->abort_reason.c_str()
+                            : stats.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 4. Inspect the result ------------------------------------------------
+  auto target = db.catalog()->GetByName("employees_denormalized");
+  std::printf("transformation complete:\n");
+  std::printf("  target rows          : %zu\n", target->size());
+  std::printf("  log records replayed : %zu\n", stats->log_records_processed);
+  std::printf("  sync latch pause     : %lld us (the only user-visible stall)\n",
+              static_cast<long long>(stats->sync_latch_micros));
+  std::printf("  user txns during run : %zu committed, %zu aborted\n", committed,
+              aborted);
+
+  // T is now an ordinary table.
+  auto txn = db.Begin();
+  auto row = db.Read(txn, target.get(), Row({7, 7}));
+  if (row.ok()) {
+    std::printf("  sample row           : %s\n", row->ToString().c_str());
+  }
+  (void)db.Commit(txn);
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace morph {
+
+/// \brief Monotonic time helpers used by the benchmark harness and the
+/// transformation priority controller.
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  static TimePoint Now() { return std::chrono::steady_clock::now(); }
+
+  static int64_t NowMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Now().time_since_epoch())
+        .count();
+  }
+
+  static double SecondsSince(TimePoint start) {
+    return std::chrono::duration<double>(Now() - start).count();
+  }
+
+  static int64_t MicrosSince(TimePoint start) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Now() - start)
+        .count();
+  }
+
+  static int64_t NanosSince(TimePoint start) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start)
+        .count();
+  }
+};
+
+/// \brief Scope timer: records elapsed microseconds into `*out` on
+/// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* out) : out_(out), start_(Clock::Now()) {}
+  ~ScopedTimer() { *out_ = Clock::MicrosSince(start_); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* out_;
+  Clock::TimePoint start_;
+};
+
+}  // namespace morph

@@ -1,0 +1,128 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+namespace morph::codec {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
+      break;
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+    case ValueType::kBool:
+      PutU8(out, v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+void PutRow(std::string* out, const Row& r) {
+  PutU32(out, static_cast<uint32_t>(r.size()));
+  for (const Value& v : r.values()) PutValue(out, v);
+}
+
+bool Reader::Need(size_t n) {
+  if (failed || pos + n > data.size()) {
+    failed = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::GetU8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data[pos++]);
+}
+
+uint32_t Reader::GetU32() {
+  if (!Need(4)) return 0;
+  uint32_t v;
+  std::memcpy(&v, data.data() + pos, 4);
+  pos += 4;
+  return v;
+}
+
+uint64_t Reader::GetU64() {
+  if (!Need(8)) return 0;
+  uint64_t v;
+  std::memcpy(&v, data.data() + pos, 8);
+  pos += 8;
+  return v;
+}
+
+int64_t Reader::GetI64() { return static_cast<int64_t>(GetU64()); }
+
+std::string Reader::GetString() {
+  uint32_t n = GetU32();
+  if (!Need(n)) return {};
+  std::string s(data.substr(pos, n));
+  pos += n;
+  return s;
+}
+
+Value Reader::GetValue() {
+  auto type = static_cast<ValueType>(GetU8());
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64:
+      return Value(static_cast<int64_t>(GetU64()));
+    case ValueType::kDouble: {
+      uint64_t bits = GetU64();
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value(d);
+    }
+    case ValueType::kString:
+      return Value(GetString());
+    case ValueType::kBool:
+      return Value(GetU8() != 0);
+  }
+  failed = true;
+  return Value::Null();
+}
+
+Row Reader::GetRow() {
+  uint32_t n = GetU32();
+  std::vector<Value> vals;
+  vals.reserve(n);
+  for (uint32_t i = 0; i < n && !failed; ++i) vals.push_back(GetValue());
+  return Row(std::move(vals));
+}
+
+}  // namespace morph::codec

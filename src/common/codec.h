@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/row.h"
+#include "common/value.h"
+
+namespace morph::codec {
+
+/// \brief Little-endian, length-prefixed binary encoding helpers shared by
+/// the WAL record serializer and the table-snapshot (checkpoint) format.
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutString(std::string* out, const std::string& s);
+void PutValue(std::string* out, const Value& v);
+void PutRow(std::string* out, const Row& r);
+
+/// \brief Cursor-style reader; any out-of-bounds access sets `failed` and
+/// returns zero values, so callers can check once at the end.
+struct Reader {
+  std::string_view data;
+  size_t pos = 0;
+  bool failed = false;
+
+  bool Need(size_t n);
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64();
+  std::string GetString();
+  Value GetValue();
+  Row GetRow();
+};
+
+}  // namespace morph::codec

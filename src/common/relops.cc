@@ -1,0 +1,69 @@
+#include "common/relops.h"
+
+#include <unordered_map>
+
+namespace morph {
+
+std::vector<Row> FullOuterJoin(const std::vector<Row>& r, size_t r_join,
+                               const std::vector<Row>& s, size_t s_join,
+                               size_t r_width, size_t s_width) {
+  std::vector<Row> out;
+  out.reserve(r.size() + s.size());
+
+  // Build side: S keyed by join attribute. matched[i] marks S rows that
+  // found at least one R partner.
+  std::unordered_map<Value, std::vector<size_t>, ValueHasher> s_by_join;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const Value& key = s[i][s_join];
+    if (key.is_null()) continue;  // NULL joins nothing
+    s_by_join[key].push_back(i);
+  }
+  std::vector<bool> matched(s.size(), false);
+
+  const Row r_nulls = Row::Nulls(r_width);
+  const Row s_nulls = Row::Nulls(s_width);
+
+  for (const Row& r_row : r) {
+    const Value& key = r_row[r_join];
+    auto it = key.is_null() ? s_by_join.end() : s_by_join.find(key);
+    if (it == s_by_join.end() || it->second.empty()) {
+      out.push_back(Row::Concat(r_row, s_nulls));
+      continue;
+    }
+    for (size_t i : it->second) {
+      matched[i] = true;
+      out.push_back(Row::Concat(r_row, s[i]));
+    }
+  }
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (!matched[i]) out.push_back(Row::Concat(r_nulls, s[i]));
+  }
+  return out;
+}
+
+SplitResult Split(const std::vector<Row>& t, const std::vector<size_t>& r_cols,
+                  const std::vector<size_t>& s_cols,
+                  const std::vector<size_t>& s_key_cols_within) {
+  SplitResult result;
+  result.r_rows.reserve(t.size());
+
+  std::unordered_map<Row, size_t, RowHasher> s_index;  // split key -> position
+  for (const Row& t_row : t) {
+    result.r_rows.push_back(t_row.Project(r_cols));
+    Row s_row = t_row.Project(s_cols);
+    Row s_key = s_row.Project(s_key_cols_within);
+    auto [it, inserted] = s_index.emplace(std::move(s_key), result.s_rows.size());
+    if (inserted) {
+      result.s_rows.push_back(std::move(s_row));
+      result.s_counters.push_back(1);
+      result.s_consistent.push_back(true);
+    } else {
+      const size_t pos = it->second;
+      result.s_counters[pos]++;
+      if (result.s_rows[pos] != s_row) result.s_consistent[pos] = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace morph

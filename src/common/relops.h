@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/row.h"
+
+namespace morph {
+
+/// \brief Pure relational operators over row vectors.
+///
+/// These implement the *set semantics* of the paper's two transformation
+/// operators and are used in three places: the blocking `insert into select`
+/// baseline, the initial-population step applied to fuzzy-read snapshots,
+/// and the oracle side of the convergence tests.
+
+/// \brief Full outer join of `r` and `s` on r[r_join] == s[s_join].
+///
+/// Output rows are Concat(r_row, s_row), with the missing side padded by a
+/// row of NULLs (the paper's r-null / s-null records). `r_width`/`s_width`
+/// give the column counts used for padding (needed when an input is empty).
+/// Join keys that are SQL NULL never match anything (each NULL-keyed row
+/// joins the opposite null record).
+std::vector<Row> FullOuterJoin(const std::vector<Row>& r, size_t r_join,
+                               const std::vector<Row>& s, size_t s_join,
+                               size_t r_width, size_t s_width);
+
+/// \brief Result of a vertical split.
+struct SplitResult {
+  /// One row per input row: the projection onto `r_cols`.
+  std::vector<Row> r_rows;
+  /// Distinct projections onto `s_cols`, keyed by the split attribute
+  /// (s_key_cols_within, positions *within* the s projection).
+  std::vector<Row> s_rows;
+  /// Parallel to s_rows: how many input rows contributed to each — the
+  /// Gupta-style counter the split transformation maintains (paper §5).
+  std::vector<int64_t> s_counters;
+  /// Parallel to s_rows: false if input rows with the same split key
+  /// disagreed on some other s-attribute (the paper's Example 1
+  /// inconsistency); the kept image is the first one seen.
+  std::vector<bool> s_consistent;
+};
+
+/// \brief Vertical split of `t`: R-part projection of every row plus the
+/// deduplicated S-part with reference counters.
+///
+/// \param t input rows
+/// \param r_cols column positions projected into R (one output row per input)
+/// \param s_cols column positions projected into S
+/// \param s_key_cols_within positions *within the s projection* forming the
+///        split attribute (candidate key of S)
+SplitResult Split(const std::vector<Row>& t, const std::vector<size_t>& r_cols,
+                  const std::vector<size_t>& s_cols,
+                  const std::vector<size_t>& s_key_cols_within);
+
+}  // namespace morph

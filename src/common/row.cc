@@ -1,0 +1,58 @@
+#include "common/row.h"
+
+namespace morph {
+
+Row Row::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(values_.at(i));
+  return Row(std::move(out));
+}
+
+Row Row::Concat(const Row& a, const Row& b) {
+  std::vector<Value> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.values_.begin(), a.values_.end());
+  out.insert(out.end(), b.values_.begin(), b.values_.end());
+  return Row(std::move(out));
+}
+
+Row Row::Nulls(size_t n) { return Row(std::vector<Value>(n)); }
+
+bool Row::AllNull() const {
+  for (const Value& v : values_) {
+    if (!v.is_null()) return false;
+  }
+  return true;
+}
+
+int Row::Compare(const Row& other) const {
+  const size_t n = std::min(size(), other.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (size() < other.size()) return -1;
+  if (size() > other.size()) return 1;
+  return 0;
+}
+
+size_t Row::Hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace morph

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace morph {
+
+/// \brief A tuple of values — one record image, or a (possibly composite)
+/// key extracted from one.
+///
+/// Row is deliberately a thin value type: schema interpretation lives in
+/// Schema; storage concerns (LSN, flags, counters) live in storage::Record.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+  Row(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& at(size_t i) const { return values_.at(i); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// \brief Extracts the sub-row at `indices` (in that order). Used for key
+  /// extraction and projecting source-table attributes out of a joined row.
+  Row Project(const std::vector<size_t>& indices) const;
+
+  /// \brief Concatenation, used to form a joined record r ⋈ s.
+  static Row Concat(const Row& a, const Row& b);
+
+  /// \brief A row of `n` SQL NULLs — the r-null / s-null padding record of a
+  /// full outer join.
+  static Row Nulls(size_t n);
+
+  /// \brief True if every value is NULL.
+  bool AllNull() const;
+
+  int Compare(const Row& other) const;
+  bool operator==(const Row& other) const { return Compare(other) == 0; }
+  bool operator!=(const Row& other) const { return Compare(other) != 0; }
+  bool operator<(const Row& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+  /// \brief "(v1, v2, ...)" debug rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct RowHasher {
+  size_t operator()(const Row& r) const { return r.Hash(); }
+};
+
+}  // namespace morph

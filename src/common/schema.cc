@@ -1,0 +1,82 @@
+#include "common/schema.h"
+
+namespace morph {
+
+Result<Schema> Schema::Make(std::vector<Column> columns,
+                            std::vector<std::string> key_names) {
+  Schema tmp(std::move(columns), {});
+  std::vector<size_t> key_indices;
+  key_indices.reserve(key_names.size());
+  for (const std::string& name : key_names) {
+    auto idx = tmp.IndexOf(name);
+    if (!idx) {
+      return Status::InvalidArgument("key column not in schema: " + name);
+    }
+    key_indices.push_back(*idx);
+  }
+  if (key_indices.empty()) {
+    return Status::InvalidArgument("schema requires at least one key column");
+  }
+  return Schema(std::move(tmp.columns_), std::move(key_indices));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<size_t>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    auto idx = IndexOf(name);
+    if (!idx) return Status::InvalidArgument("no such column: " + name);
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row has " + std::to_string(row.size()) +
+                                   " values, schema has " +
+                                   std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!columns_[i].nullable) {
+        return Status::ConstraintViolation("NULL in non-nullable column " +
+                                           columns_[i].name);
+      }
+      continue;
+    }
+    if (columns_[i].type != ValueType::kNull && v.type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "type mismatch in column " + columns_[i].name + ": expected " +
+          std::string(ValueTypeToString(columns_[i].type)) + ", got " +
+          std::string(ValueTypeToString(v.type())));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+    bool is_key = false;
+    for (size_t k : key_indices_) is_key = is_key || k == i;
+    if (is_key) out += " KEY";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace morph

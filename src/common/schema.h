@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace morph {
+
+/// \brief One column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = true;
+};
+
+/// \brief A table schema: ordered columns plus the primary-key column set.
+///
+/// The transformation framework requires every transformed table to carry at
+/// least one candidate key from each source table (paper §3.1); schemas make
+/// those key column sets explicit so the framework can extract identifying
+/// sub-rows.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// \param columns ordered column definitions
+  /// \param key_indices positions (into `columns`) of the primary-key columns
+  Schema(std::vector<Column> columns, std::vector<size_t> key_indices)
+      : columns_(std::move(columns)), key_indices_(std::move(key_indices)) {}
+
+  /// \brief Convenience factory validating the definition.
+  static Result<Schema> Make(std::vector<Column> columns,
+                             std::vector<std::string> key_names);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_.at(i); }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<size_t>& key_indices() const { return key_indices_; }
+
+  /// \brief Position of a column by name, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// \brief Positions of several columns by name; fails on any miss.
+  Result<std::vector<size_t>> IndicesOf(const std::vector<std::string>& names) const;
+
+  /// \brief Extracts the primary key of a row under this schema.
+  Row KeyOf(const Row& row) const { return row.Project(key_indices_); }
+
+  /// \brief Validates a row against column count, types and nullability.
+  /// NULL is accepted in nullable columns regardless of declared type.
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<size_t> key_indices_;
+};
+
+}  // namespace morph

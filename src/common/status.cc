@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace morph {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace morph

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace morph {
+
+/// \brief Error categories used across the library.
+///
+/// The set mirrors what a small transactional engine needs: user errors
+/// (kInvalidArgument, kConstraintViolation), concurrency-control outcomes
+/// (kAborted, kBusy, kDeadlock), lookup results (kNotFound, kAlreadyExists)
+/// and internal invariant failures (kCorruption, kInternal).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,
+  kBusy,
+  kDeadlock,
+  kConstraintViolation,
+  kNotSupported,
+  kCorruption,
+  kInternal,
+  kIOError,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail, in the style of
+/// arrow::Status / rocksdb::Status.
+///
+/// Core code paths do not throw exceptions; every fallible operation returns
+/// a Status (or a Result<T>, see result.h). Statuses are cheap to copy in the
+/// OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) { return Status(StatusCode::kBusy, std::move(msg)); }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// \brief Propagates a non-OK Status to the caller.
+#define MORPH_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::morph::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define MORPH_CONCAT_IMPL(x, y) x##y
+#define MORPH_CONCAT(x, y) MORPH_CONCAT_IMPL(x, y)
+
+/// \brief Evaluates a Result<T> expression; on error returns the Status,
+/// otherwise moves the value into `lhs`.
+#define MORPH_ASSIGN_OR_RETURN(lhs, expr)                               \
+  auto MORPH_CONCAT(_res_, __LINE__) = (expr);                          \
+  if (!MORPH_CONCAT(_res_, __LINE__).ok())                              \
+    return MORPH_CONCAT(_res_, __LINE__).status();                      \
+  lhs = std::move(MORPH_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+}  // namespace morph

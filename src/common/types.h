@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+namespace morph {
+
+/// \brief Log sequence number. LSN 0 is "invalid / none"; real LSNs start
+/// at 1 and increase strictly monotonically with log append order.
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// \brief Transaction identifier. 0 is reserved for "no transaction"
+/// (e.g. log records written by the transformation framework itself).
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// \brief Table identifier assigned by the catalog.
+using TableId = uint32_t;
+inline constexpr TableId kInvalidTableId = 0;
+
+}  // namespace morph

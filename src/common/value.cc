@@ -1,0 +1,118 @@
+#include "common/value.h"
+
+#include <functional>
+
+namespace morph {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// Rank used to order values of different types; NULL sorts first.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 2;  // numerics compare cross-type by value
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const ValueType ta = type();
+  const ValueType tb = other.type();
+  const int ra = TypeRank(ta);
+  const int rb = TypeRank(tb);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp(AsBool(), other.AsBool());
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      const double a = ta == ValueType::kInt64 ? static_cast<double>(AsInt64())
+                                               : AsDouble();
+      const double b = tb == ValueType::kInt64 ? static_cast<double>(other.AsInt64())
+                                               : other.AsDouble();
+      // Exact integer comparison when both sides are integers avoids
+      // double-rounding surprises for keys near 2^53.
+      if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+        return Cmp(AsInt64(), other.AsInt64());
+      }
+      return Cmp(a, b);
+    }
+    case ValueType::kString:
+      return Cmp(AsString(), other.AsString());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return AsBool() ? 0x1234567 : 0x7654321;
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(AsInt64());
+    case ValueType::kDouble: {
+      const double d = AsDouble();
+      // Hash doubles representing integers the same as the integer so that
+      // cross-type numeric equality implies equal hashes.
+      const int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) return std::hash<int64_t>{}(as_int);
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace morph

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace morph {
+
+/// \brief Column/value type tags.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kBool = 4,
+};
+
+std::string_view ValueTypeToString(ValueType type);
+
+/// \brief A dynamically typed SQL value.
+///
+/// Values are the cell type of every record in the engine. SQL NULL is a
+/// first-class value (ValueType::kNull); the transformation framework relies
+/// on it for the r-null / s-null padding records of a full outer join.
+///
+/// Ordering and equality follow SQL-ish total-order semantics with one
+/// deliberate deviation: NULL compares equal to NULL and sorts before
+/// everything else. The engine needs a total order for keys and
+/// deterministic record comparison in tests, so three-valued logic is not
+/// used at this layer.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}                     // NOLINT(runtime/explicit)
+  Value(int v) : rep_(static_cast<int64_t>(v)) {}   // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}                      // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}      // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}    // NOLINT(runtime/explicit)
+  Value(bool v) : rep_(v) {}                        // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      case 4:
+        return ValueType::kBool;
+    }
+    return ValueType::kNull;
+  }
+
+  bool is_null() const { return rep_.index() == 0; }
+
+  /// \brief Typed accessors; caller must check type() first.
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+
+  /// \brief Three-way comparison defining a total order across types:
+  /// NULL < Bool < Int64 < Double < String, values of equal type compare
+  /// naturally (numeric cross-comparison between int64 and double is
+  /// performed by value).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// \brief Stable hash suitable for hash indexes.
+  size_t Hash() const;
+
+  /// \brief Debug / display rendering ("NULL", "42", "'abc'", ...).
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> rep_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace morph

@@ -1,0 +1,98 @@
+#include "engine/blocking_transform.h"
+
+#include <shared_mutex>
+
+#include "common/clock.h"
+#include "common/relops.h"
+
+namespace morph::engine {
+
+namespace {
+
+std::vector<Row> SnapshotRows(storage::Table* table) {
+  std::vector<Row> rows;
+  rows.reserve(table->size());
+  table->ForEach([&](const storage::Record& rec) { rows.push_back(rec.row); });
+  return rows;
+}
+
+Status WriteAll(Database* db, storage::Table* out, const std::vector<Row>& rows,
+                const std::vector<int64_t>* counters,
+                const std::vector<bool>* consistent) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    wal::LogRecord rec;
+    rec.type = wal::LogRecordType::kInsert;
+    rec.txn_id = kInvalidTxnId;
+    rec.table_id = out->id();
+    rec.key = out->schema().KeyOf(rows[i]);
+    rec.after = rows[i];
+    const Lsn lsn = db->wal()->Append(std::move(rec));
+
+    storage::Record record;
+    record.row = rows[i];
+    record.lsn = lsn;
+    if (counters != nullptr) record.counter = (*counters)[i];
+    if (consistent != nullptr) record.consistent = (*consistent)[i];
+    MORPH_RETURN_NOT_OK(out->Insert(std::move(record)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BlockingTransform::Outcome> BlockingTransform::FullOuterJoin(
+    Database* db, storage::Table* r, size_t r_join_col, storage::Table* s,
+    size_t s_join_col, storage::Table* t_out) {
+  if (t_out->size() != 0) {
+    return Status::InvalidArgument("target table must be empty");
+  }
+  Outcome outcome;
+  const auto start = Clock::Now();
+  {
+    // Latch order: by table id, to avoid deadlock with any other
+    // double-latcher.
+    storage::Table* first = r->id() < s->id() ? r : s;
+    storage::Table* second = r->id() < s->id() ? s : r;
+    std::unique_lock latch1(first->latch());
+    std::unique_lock latch2(second->latch());
+
+    const std::vector<Row> r_rows = SnapshotRows(r);
+    const std::vector<Row> s_rows = SnapshotRows(s);
+    const std::vector<Row> joined =
+        morph::FullOuterJoin(r_rows, r_join_col, s_rows, s_join_col,
+                             r->schema().num_columns(), s->schema().num_columns());
+    MORPH_RETURN_NOT_OK(WriteAll(db, t_out, joined, nullptr, nullptr));
+    outcome.rows_written = joined.size();
+  }
+  outcome.blocked_micros = Clock::MicrosSince(start);
+  return outcome;
+}
+
+Result<BlockingTransform::Outcome> BlockingTransform::Split(
+    Database* db, storage::Table* t, const std::vector<size_t>& r_cols,
+    const std::vector<size_t>& s_cols, storage::Table* r_out,
+    storage::Table* s_out) {
+  if (r_out->size() != 0 || s_out->size() != 0) {
+    return Status::InvalidArgument("target tables must be empty");
+  }
+  // The split attribute is the primary key of s_out; find its positions
+  // within the s projection.
+  std::vector<size_t> s_key_within;
+  for (size_t key_idx : s_out->schema().key_indices()) s_key_within.push_back(key_idx);
+
+  Outcome outcome;
+  const auto start = Clock::Now();
+  {
+    std::unique_lock latch(t->latch());
+    const std::vector<Row> t_rows = SnapshotRows(t);
+    SplitResult split = morph::Split(t_rows, r_cols, s_cols, s_key_within);
+    MORPH_RETURN_NOT_OK(WriteAll(db, r_out, split.r_rows, nullptr, nullptr));
+    MORPH_RETURN_NOT_OK(
+        WriteAll(db, s_out, split.s_rows, &split.s_counters, &split.s_consistent));
+    outcome.rows_written = split.r_rows.size() + split.s_rows.size();
+  }
+  outcome.blocked_micros = Clock::MicrosSince(start);
+  return outcome;
+}
+
+}  // namespace morph::engine

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace morph::engine {
+
+/// \brief Fuzzy checkpoints: bound both restart-recovery work and WAL
+/// retention without ever blocking user transactions.
+///
+/// A checkpoint captures, in order:
+///
+///  1. `guard_lsn`   — the WAL position *before* any table is scanned;
+///  2. the active-transaction table and its oldest BEGIN LSN (losers at a
+///     crash may need undo records from before the checkpoint);
+///  3. a fuzzy snapshot of every table (no locks; writers keep running).
+///
+/// Restart from a checkpoint loads the snapshots, then performs **LSN-gated
+/// redo** of the log from `redo_start_lsn()`: a snapshot record already
+/// reflecting a logged operation (the scan ran concurrently with writers)
+/// has a LSN at or above the record's and is skipped — the same
+/// state-identifier discipline the paper's fuzzy copy uses (§2.2). Undo of
+/// losers then proceeds exactly as in plain Restart.
+///
+/// The WAL may be truncated up to `truncate_floor()` once the checkpoint is
+/// durable: everything older is covered by the snapshots and is not needed
+/// by any loser's undo chain.
+struct CheckpointMeta {
+  Lsn guard_lsn = kInvalidLsn;
+  Lsn min_active_lsn = kInvalidLsn;  ///< oldest BEGIN among active txns
+  std::vector<TxnId> active_txns;
+  /// Undo-chain heads at checkpoint time, parallel to active_txns.
+  std::vector<Lsn> active_last_lsns;
+  std::vector<std::string> tables;  ///< snapshot order = catalog names
+
+  /// First LSN the restart's redo pass must read.
+  Lsn redo_start_lsn() const {
+    if (min_active_lsn != kInvalidLsn && min_active_lsn <= guard_lsn) {
+      return min_active_lsn;
+    }
+    return guard_lsn + 1;
+  }
+  /// Records below this can be dropped from the WAL.
+  Lsn truncate_floor() const { return redo_start_lsn(); }
+};
+
+class Checkpointer {
+ public:
+  /// \brief Writes a fuzzy checkpoint of every table in `db` into `dir`
+  /// (created by the caller): one snapshot file per table plus
+  /// `checkpoint.meta`. Safe to run concurrently with user transactions and
+  /// with a running transformation (transformed tables are snapshotted like
+  /// any other; an in-flight transformation is simply not part of the
+  /// checkpoint contract and restarts as aborted, like plain recovery).
+  static Result<CheckpointMeta> Write(Database* db, const std::string& dir);
+
+  /// \brief Reads `dir`/checkpoint.meta.
+  static Result<CheckpointMeta> ReadMeta(const std::string& dir);
+
+  /// \brief Restores table contents from the checkpoint in `dir` and the
+  /// log suffix in `wal`: load snapshots → LSN-gated redo from
+  /// redo_start_lsn → undo losers (with CLRs). Tables must exist (schemas
+  /// recreated by the caller, names matching the checkpointed ones) and be
+  /// empty.
+  struct Stats {
+    size_t snapshot_records = 0;
+    size_t records_scanned = 0;
+    size_t redone = 0;
+    size_t skipped_by_lsn = 0;
+    size_t losers = 0;
+    size_t undone = 0;
+  };
+  static Result<Stats> Restore(const std::string& dir, wal::Wal* wal,
+                               storage::Catalog* catalog);
+};
+
+}  // namespace morph::engine

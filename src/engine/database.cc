@@ -1,0 +1,316 @@
+#include "engine/database.h"
+
+#include <shared_mutex>
+
+namespace morph::engine {
+
+Database::Database(DatabaseOptions options)
+    : options_(options), locks_(options.lock_timeout_micros), txns_(&wal_) {}
+
+Result<std::shared_ptr<storage::Table>> Database::CreateTable(
+    const std::string& name, Schema schema) {
+  return catalog_.CreateTable(name, std::move(schema), options_.table_shards);
+}
+
+Status Database::DropTable(const std::string& name) {
+  return catalog_.DropTable(name);
+}
+
+TxnPtr Database::Begin() {
+  return txns_.Begin(epoch_.load(std::memory_order_acquire));
+}
+
+Status Database::Commit(const TxnPtr& t) {
+  if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
+    const Status gate = hook->OnCommit(t->id(), t->epoch());
+    if (!gate.ok()) {
+      // Doomed by the transformation (non-blocking abort switch-over):
+      // roll back instead.
+      MORPH_RETURN_NOT_OK(Abort(t));
+      return gate;
+    }
+  }
+  MORPH_RETURN_NOT_OK(txns_.Commit(t));
+  if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
+    hook->OnTxnFinished(t->id(), t->epoch());
+  }
+  locks_.ReleaseAll(t->id());
+  return Status::OK();
+}
+
+Status Database::Abort(const TxnPtr& t) {
+  MORPH_RETURN_NOT_OK(txns_.BeginAbort(t));
+  // The ABORT record's prev_lsn points at the last operation to undo.
+  auto abort_rec = wal_.At(t->last_lsn());
+  if (!abort_rec.ok()) return abort_rec.status();
+  Lsn lsn = abort_rec->prev_lsn;
+  while (lsn != kInvalidLsn) {
+    auto rec = wal_.At(lsn);
+    if (!rec.ok()) return rec.status();
+    switch (rec->type) {
+      case wal::LogRecordType::kInsert:
+      case wal::LogRecordType::kDelete:
+      case wal::LogRecordType::kUpdate:
+        MORPH_RETURN_NOT_OK(UndoOne(t, *rec));
+        lsn = rec->prev_lsn;
+        break;
+      case wal::LogRecordType::kClr:
+        // Already-compensated suffix (only possible after restart recovery
+        // resumed a partial rollback); skip to what is still to undo.
+        lsn = rec->undo_next_lsn;
+        break;
+      case wal::LogRecordType::kBegin:
+        lsn = kInvalidLsn;
+        break;
+      default:
+        lsn = rec->prev_lsn;
+        break;
+    }
+  }
+  MORPH_RETURN_NOT_OK(txns_.EndAbort(t));
+  if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
+    hook->OnTxnFinished(t->id(), t->epoch());
+  }
+  locks_.ReleaseAll(t->id());
+  return Status::OK();
+}
+
+Status Database::UndoOne(const TxnPtr& t, const wal::LogRecord& rec) {
+  // If the table was dropped since the operation (e.g. an aborted
+  // transformation's target), there is nothing to compensate physically,
+  // but the CLR is still written so the undo chain stays well-formed.
+  auto table = catalog_.GetById(rec.table_id);
+
+  wal::LogRecord clr;
+  clr.type = wal::LogRecordType::kClr;
+  clr.txn_id = t->id();
+  clr.prev_lsn = t->last_lsn();
+  clr.table_id = rec.table_id;
+  clr.key = rec.key;
+  clr.undo_next_lsn = rec.prev_lsn;
+
+  switch (rec.type) {
+    case wal::LogRecordType::kInsert:
+      clr.clr_action = wal::ClrAction::kUndoInsert;
+      clr.before = rec.after;
+      break;
+    case wal::LogRecordType::kDelete:
+      clr.clr_action = wal::ClrAction::kUndoDelete;
+      clr.after = rec.before;
+      break;
+    case wal::LogRecordType::kUpdate:
+      clr.clr_action = wal::ClrAction::kUndoUpdate;
+      clr.updated_columns = rec.updated_columns;
+      // Swapped images: the CLR re-applies the before-values.
+      clr.before_values = rec.after_values;
+      clr.after_values = rec.before_values;
+      break;
+    default:
+      return Status::Internal("UndoOne on non-data log record");
+  }
+
+  const Lsn clr_lsn = wal_.Append(clr);
+  t->set_last_lsn(clr_lsn);
+
+  if (table == nullptr) return Status::OK();
+  std::shared_lock latch(table->latch());
+  switch (rec.type) {
+    case wal::LogRecordType::kInsert:
+      return table->Delete(rec.key);
+    case wal::LogRecordType::kDelete: {
+      storage::Record record;
+      record.row = rec.before;
+      record.lsn = clr_lsn;
+      return table->Insert(std::move(record));
+    }
+    case wal::LogRecordType::kUpdate:
+      return table->Mutate(rec.key, [&](storage::Record* r) {
+        for (size_t i = 0; i < rec.updated_columns.size(); ++i) {
+          r->row[rec.updated_columns[i]] = rec.before_values[i];
+        }
+        r->lsn = clr_lsn;
+        return true;
+      });
+    default:
+      return Status::Internal("unreachable");
+  }
+}
+
+Status Database::OpGate(const TxnPtr& t, storage::Table* table, const Row& key,
+                        txn::LockMode mode, txn::Access access) {
+  if (t->state() != txn::TxnState::kActive) {
+    return Status::InvalidArgument("operation on non-active transaction " +
+                                   std::to_string(t->id()));
+  }
+  // Hook gate runs *before* lock acquisition and before the table latch:
+  // a gated/blocked operation must pin no engine resources (see
+  // TransformHook docs).
+  if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
+    MORPH_RETURN_NOT_OK(hook->OnOp(t->id(), t->epoch(), table->id(), access,
+                                   key, /*may_block=*/true));
+  }
+  if (options_.multigranularity_locking) {
+    const txn::LockMode intent = mode == txn::LockMode::kShared
+                                     ? txn::LockMode::kIntentionShared
+                                     : txn::LockMode::kIntentionExclusive;
+    MORPH_RETURN_NOT_OK(
+        locks_.Acquire(t->id(), txn::LockManager::TableLockId(table->id()),
+                       intent));
+  }
+  txn::RecordId rid{table->id(), key};
+  return locks_.Acquire(t->id(), rid, mode);
+}
+
+Status Database::LockTable(const TxnPtr& t, storage::Table* table,
+                           txn::LockMode mode) {
+  if (!options_.multigranularity_locking) {
+    return Status::NotSupported(
+        "table locks require DatabaseOptions::multigranularity_locking");
+  }
+  if (t->state() != txn::TxnState::kActive) {
+    return Status::InvalidArgument("operation on non-active transaction");
+  }
+  return locks_.Acquire(t->id(), txn::LockManager::TableLockId(table->id()),
+                        mode);
+}
+
+Status Database::Recheck(const TxnPtr& t, storage::Table* table, const Row& key,
+                         txn::Access access) {
+  if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
+    return hook->OnOp(t->id(), t->epoch(), table->id(), access, key,
+                      /*may_block=*/false);
+  }
+  return Status::OK();
+}
+
+Status Database::Insert(const TxnPtr& t, storage::Table* table, Row row) {
+  MORPH_RETURN_NOT_OK(table->schema().ValidateRow(row));
+  const Row key = table->schema().KeyOf(row);
+  MORPH_RETURN_NOT_OK(
+      OpGate(t, table, key, txn::LockMode::kExclusive, txn::Access::kWrite));
+  std::shared_lock latch(table->latch());
+  MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kWrite));
+  if (table->Contains(key)) {
+    return Status::AlreadyExists("duplicate key " + key.ToString() + " in " +
+                                 table->name());
+  }
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kInsert;
+  rec.txn_id = t->id();
+  rec.prev_lsn = t->last_lsn();
+  rec.table_id = table->id();
+  rec.key = key;
+  rec.after = row;
+  const Lsn lsn = wal_.Append(std::move(rec));
+  t->set_last_lsn(lsn);
+
+  storage::Record record;
+  record.row = std::move(row);
+  record.lsn = lsn;
+  return table->Insert(std::move(record));
+}
+
+Status Database::Delete(const TxnPtr& t, storage::Table* table, const Row& key) {
+  MORPH_RETURN_NOT_OK(
+      OpGate(t, table, key, txn::LockMode::kExclusive, txn::Access::kWrite));
+  std::shared_lock latch(table->latch());
+  MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kWrite));
+  auto existing = table->Get(key);
+  if (!existing.ok()) return existing.status();
+
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kDelete;
+  rec.txn_id = t->id();
+  rec.prev_lsn = t->last_lsn();
+  rec.table_id = table->id();
+  rec.key = key;
+  rec.before = existing->row;
+  const Lsn lsn = wal_.Append(std::move(rec));
+  t->set_last_lsn(lsn);
+
+  return table->Delete(key);
+}
+
+Status Database::Update(const TxnPtr& t, storage::Table* table, const Row& key,
+                        const std::vector<ColumnUpdate>& updates) {
+  MORPH_RETURN_NOT_OK(
+      OpGate(t, table, key, txn::LockMode::kExclusive, txn::Access::kWrite));
+  std::shared_lock latch(table->latch());
+  MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kWrite));
+  auto existing = table->Get(key);
+  if (!existing.ok()) return existing.status();
+
+  Row new_row = existing->row;
+  wal::LogRecord rec;
+  rec.type = wal::LogRecordType::kUpdate;
+  rec.txn_id = t->id();
+  rec.prev_lsn = t->last_lsn();
+  rec.table_id = table->id();
+  rec.key = key;
+  for (const ColumnUpdate& u : updates) {
+    if (u.column >= new_row.size()) {
+      return Status::InvalidArgument("column index out of range");
+    }
+    rec.updated_columns.push_back(static_cast<uint32_t>(u.column));
+    rec.before_values.push_back(new_row[u.column]);
+    rec.after_values.push_back(u.value);
+    new_row[u.column] = u.value;
+  }
+  MORPH_RETURN_NOT_OK(table->schema().ValidateRow(new_row));
+  if (table->schema().KeyOf(new_row) != key) {
+    return Status::InvalidArgument(
+        "Update may not change the primary key; use Delete+Insert");
+  }
+  const Lsn lsn = wal_.Append(std::move(rec));
+  t->set_last_lsn(lsn);
+
+  storage::Record record;
+  record.row = std::move(new_row);
+  record.lsn = lsn;
+  return table->Update(key, std::move(record));
+}
+
+Result<Row> Database::Read(const TxnPtr& t, storage::Table* table,
+                           const Row& key) {
+  MORPH_RETURN_NOT_OK(
+      OpGate(t, table, key, txn::LockMode::kShared, txn::Access::kRead));
+  std::shared_lock latch(table->latch());
+  MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kRead));
+  auto record = table->Get(key);
+  if (!record.ok()) return record.status();
+  return record->row;
+}
+
+Status Database::BulkLoad(storage::Table* table, const std::vector<Row>& rows) {
+  for (const Row& row : rows) {
+    MORPH_RETURN_NOT_OK(table->schema().ValidateRow(row));
+    wal::LogRecord rec;
+    rec.type = wal::LogRecordType::kInsert;
+    rec.txn_id = kInvalidTxnId;
+    rec.table_id = table->id();
+    rec.key = table->schema().KeyOf(row);
+    rec.after = row;
+    const Lsn lsn = wal_.Append(std::move(rec));
+
+    storage::Record record;
+    record.row = row;
+    record.lsn = lsn;
+    MORPH_RETURN_NOT_OK(table->Insert(std::move(record)));
+  }
+  return Status::OK();
+}
+
+Status Database::SetTransformHook(TransformHook* hook) {
+  TransformHook* expected = nullptr;
+  if (!hook_.compare_exchange_strong(expected, hook,
+                                     std::memory_order_acq_rel)) {
+    return Status::AlreadyExists("another transformation is already active");
+  }
+  return Status::OK();
+}
+
+void Database::ClearTransformHook() {
+  hook_.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace morph::engine

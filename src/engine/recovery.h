@@ -1,0 +1,58 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "wal/wal.h"
+
+namespace morph::engine {
+
+/// \brief ARIES-lite restart recovery.
+///
+/// The paper assumes an ARIES-style recovery substrate ("redo and undo log
+/// records are produced, and undo operations produce Compensating Log
+/// Records", §1) — this module provides it so the engine is a credible host
+/// for the transformation framework.
+///
+/// The engine is main-memory, so restart means: recreate the table schemas
+/// (caller's job — DDL is not logged, exactly like the paper's prototype),
+/// then Restart() rebuilds table contents from the log:
+///
+///  1. **Analysis + redo** in one forward pass: every data record (INSERT /
+///     DELETE / UPDATE / CLR) is re-applied in LSN order to the initially
+///     empty tables; the active-transaction table is reconstructed on the
+///     side (BEGIN adds, COMMIT / TXN_END removes).
+///  2. **Undo**: every loser transaction's chain is walked backwards from
+///     its last LSN; data operations are compensated, each writing a CLR to
+///     the log; already-compensated suffixes are skipped via undo_next_lsn.
+///     Each loser ends with a TXN_END record.
+///
+/// Re-running Restart on the extended log is idempotent: the second pass
+/// finds no losers.
+class Recovery {
+ public:
+  struct Stats {
+    size_t records_scanned = 0;
+    size_t redone = 0;
+    size_t losers = 0;
+    size_t undone = 0;  ///< CLRs written during the undo pass
+  };
+
+  /// \brief Rebuilds the contents of the tables in `catalog` from `wal`.
+  ///
+  /// Tables must exist (matching the TableIds in the log — recreate them in
+  /// the original creation order) and be empty. Records whose table id is
+  /// unknown are skipped (dropped tables).
+  static Result<Stats> Restart(wal::Wal* wal, storage::Catalog* catalog);
+
+  /// \brief The undo pass, shared with checkpoint-based restart
+  /// (engine::Checkpointer): rolls back each loser from its undo-chain
+  /// head, writing CLRs and a final TXN_END. Returns the number of
+  /// operations compensated.
+  static Result<size_t> UndoLosers(
+      wal::Wal* wal, storage::Catalog* catalog,
+      const std::unordered_map<TxnId, Lsn>& losers);
+};
+
+}  // namespace morph::engine

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+#include "txn/transform_locks.h"
+
+namespace morph::engine {
+
+/// \brief Callback interface an active schema transformation registers with
+/// the Database so it can observe and gate user operations.
+///
+/// The *data* path of the transformation is strictly log-based (the paper's
+/// headline property), but two control-plane interactions need a direct
+/// hook:
+///
+///  - **Access gating / routing at switch-over** (paper §3.4): with blocking
+///    commit, new transactions touching the involved tables must wait; with
+///    the non-blocking strategies, new transactions are admitted to the
+///    transformed table while pre-switch transactions are aborted
+///    (non-blocking abort) or drained (non-blocking commit).
+///  - **Synchronous lock mirroring under non-blocking commit** (paper §4.3):
+///    once old and new transactions coexist, a source-table operation must
+///    acquire the corresponding lock on the transformed table *before*
+///    proceeding, and vice versa — "if a transaction cannot get a lock on
+///    all implicated records in all tables, it is not allowed to go forward
+///    with the operation."
+///
+/// The engine calls OnOp *twice* per operation:
+///
+///  1. with `may_block = true`, before the record lock and the table latch
+///     are taken — this is where the hook may park the caller (blocking-
+///     commit gate, waiting for a transferred lock). Blocking here is safe
+///     because the caller holds no engine resources yet.
+///  2. with `may_block = false`, after the shared table latch is held and
+///     immediately before the WAL append — a cheap revalidation. Between
+///     call 1 and the latch acquisition the transformation may have
+///     performed its switch-over (it holds the latch exclusively to do so);
+///     without the recheck, a stalled operation could slip a log record in
+///     *after* the final propagation pass and be lost. The recheck must
+///     never block (it would deadlock against the exclusive latch); it
+///     returns Busy/Aborted instead, and lock-mirroring calls it makes are
+///     idempotent re-acquisitions.
+///
+/// A non-OK return aborts the operation; the engine surfaces it to the
+/// client, who is expected to abort the transaction.
+class TransformHook {
+ public:
+  virtual ~TransformHook() = default;
+
+  /// \brief Gate/observe an operation by `txn` (with epoch `epoch`) on
+  /// `table`. `access` distinguishes reads from writes; `pk` is the primary
+  /// key of the record touched. See the class comment for the two-phase
+  /// calling convention around `may_block`.
+  virtual Status OnOp(TxnId txn, txn::TxnEpoch epoch, TableId table,
+                      txn::Access access, const Row& pk, bool may_block) = 0;
+
+  /// \brief Gate a commit attempt. Returning non-OK makes the engine abort
+  /// the transaction instead (used by the non-blocking-abort strategy to
+  /// doom transactions that were active on the source tables at
+  /// switch-over).
+  virtual Status OnCommit(TxnId txn, txn::TxnEpoch epoch) = 0;
+
+  /// \brief Notification that `txn` committed or finished aborting.
+  virtual void OnTxnFinished(TxnId txn, txn::TxnEpoch epoch) = 0;
+};
+
+}  // namespace morph::engine

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+#include "transform/coordinator.h"
+
+namespace morph::sql {
+
+/// \brief One `column op literal` comparison. WHERE clauses are
+/// conjunctions of these (no OR / nesting — deliberately small).
+struct Condition {
+  enum class Op : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+  std::string column;
+  Op op = Op::kEq;
+  Value literal;
+
+  bool Eval(const Value& v) const {
+    switch (op) {
+      case Op::kEq:
+        return v == literal;
+      case Op::kNe:
+        return v != literal;
+      case Op::kLt:
+        return v < literal;
+      case Op::kLe:
+        return v <= literal;
+      case Op::kGt:
+        return v > literal;
+      case Op::kGe:
+        return v >= literal;
+    }
+    return false;
+  }
+};
+
+// --- plain DML / DDL ---------------------------------------------------------
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<Column> columns;
+  std::vector<std::string> key_columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  /// Optional explicit column list; empty = schema order.
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> sets;
+  std::vector<Condition> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<Condition> where;
+};
+
+struct SelectStmt {
+  std::string table;
+  /// Empty = `*`.
+  std::vector<std::string> columns;
+  std::vector<Condition> where;
+  std::optional<size_t> limit;
+};
+
+struct BeginStmt {};
+struct CommitStmt {};
+struct RollbackStmt {};
+
+struct ShowTablesStmt {};
+struct ShowTransformStmt {};
+
+// --- online transformations ----------------------------------------------------
+//
+// Syntax (morph dialect):
+//   TRANSFORM JOIN r, s ON r.col = s.col INTO t [options]
+//   TRANSFORM SPLIT t INTO r (c1, c2), s (c3, c4) ON (c3) [options]
+//   TRANSFORM MERGE a, b INTO t [options]
+//   TRANSFORM HSPLIT t INTO r, s WHERE col < 100 [options]
+// options: WITH PRIORITY 0.5 | STRATEGY {BLOCKING | ABORT | COMMIT}
+//          | CONTINUOUS | KEEP SOURCES | CHECK CONSISTENCY | REUSE SOURCE
+
+struct TransformOptions {
+  std::optional<double> priority;
+  std::optional<transform::SyncStrategy> strategy;
+  bool continuous = false;
+  bool keep_sources = false;
+  bool check_consistency = false;  ///< split: §5.3 mode + CC
+  bool reuse_source = false;       ///< split: §5.2 alternative strategy
+};
+
+struct TransformJoinStmt {
+  std::string r_table, s_table;
+  std::string r_column, s_column;  ///< join columns (qualified names resolved)
+  std::string target;
+  TransformOptions options;
+};
+
+struct TransformSplitStmt {
+  std::string table;
+  std::string r_name, s_name;
+  std::vector<std::string> r_columns, s_columns, split_columns;
+  TransformOptions options;
+};
+
+struct TransformMergeStmt {
+  std::string r_table, s_table;
+  std::string target;
+  TransformOptions options;
+};
+
+struct TransformHsplitStmt {
+  std::string table;
+  std::string r_name, s_name;
+  Condition predicate;
+  TransformOptions options;
+};
+
+/// TRANSFORM ABORT | TRANSFORM FINISH — control the running transformation.
+struct TransformControlStmt {
+  enum class What { kAbort, kFinish } what = What::kAbort;
+};
+
+using Statement =
+    std::variant<CreateTableStmt, DropTableStmt, InsertStmt, UpdateStmt,
+                 DeleteStmt, SelectStmt, BeginStmt, CommitStmt, RollbackStmt,
+                 ShowTablesStmt, ShowTransformStmt, TransformJoinStmt,
+                 TransformSplitStmt, TransformMergeStmt, TransformHsplitStmt,
+                 TransformControlStmt>;
+
+}  // namespace morph::sql

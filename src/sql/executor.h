@@ -1,0 +1,117 @@
+#pragma once
+
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/database.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+#include "transform/coordinator.h"
+
+namespace morph::sql {
+
+/// \brief Result of executing one statement: a (possibly empty) relation
+/// plus a human-readable status message.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  std::string message;
+
+  /// \brief Renders as an aligned ASCII table (or just the message).
+  std::string ToString() const;
+};
+
+/// \brief A SQL session: statement execution, explicit transactions, and
+/// ownership of at most one running online transformation.
+///
+/// Transaction model: autocommit per statement unless inside an explicit
+/// BEGIN ... COMMIT/ROLLBACK. Error statements inside an explicit
+/// transaction abort the whole transaction (strictness keeps the 2PL story
+/// simple), and the session reports that.
+///
+/// Scan semantics: non-point WHERE clauses collect candidates from a fuzzy
+/// scan, then re-read each candidate under a proper shared/exclusive record
+/// lock and re-evaluate the predicate — so every row returned or written
+/// was locked and current, but rows inserted mid-scan may be missed
+/// (no phantom protection; the engine has no range locks).
+///
+/// Transformations started via TRANSFORM ... run on a background thread
+/// owned by the session; SHOW TRANSFORM reports progress, TRANSFORM ABORT /
+/// TRANSFORM FINISH control it, and the session destructor aborts a still-
+/// running transformation.
+class Session {
+ public:
+  explicit Session(engine::Database* db) : db_(db) {}
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \brief Parses and executes one statement.
+  Result<ResultSet> Execute(const std::string& input);
+
+  /// \brief Executes an already-parsed statement.
+  Result<ResultSet> Execute(const Statement& statement);
+
+  /// \brief Runs a multi-statement script; stops at the first error.
+  /// Returns the last statement's result.
+  Result<ResultSet> ExecuteScript(const std::string& input);
+
+  /// \brief True while an explicit transaction is open.
+  bool in_transaction() const { return txn_ != nullptr; }
+
+  /// \brief The running transformation's coordinator (tests/tools), or
+  /// nullptr.
+  transform::TransformCoordinator* running_transform() {
+    return transform_ ? transform_->coordinator.get() : nullptr;
+  }
+
+ private:
+  struct RunningTransform {
+    std::string description;
+    std::shared_ptr<transform::OperatorRules> rules;
+    std::unique_ptr<transform::TransformCoordinator> coordinator;
+    std::future<Result<transform::TransformStats>> future;
+  };
+
+  // Statement handlers.
+  Result<ResultSet> Create(const CreateTableStmt& stmt);
+  Result<ResultSet> Drop(const DropTableStmt& stmt);
+  Result<ResultSet> Insert(const InsertStmt& stmt);
+  Result<ResultSet> Update(const UpdateStmt& stmt);
+  Result<ResultSet> Delete(const DeleteStmt& stmt);
+  Result<ResultSet> Select(const SelectStmt& stmt);
+  Result<ResultSet> ShowTables();
+  Result<ResultSet> ShowTransform();
+  Result<ResultSet> StartTransform(const Statement& statement);
+  Result<ResultSet> ControlTransform(const TransformControlStmt& stmt);
+
+  /// Resolves a table or fails.
+  Result<std::shared_ptr<storage::Table>> TableOrError(const std::string& name);
+
+  /// Keys of records matching `where`: either the single point key (all key
+  /// columns bound by equality) or a fuzzy-scan candidate list.
+  Result<std::vector<Row>> CandidateKeys(storage::Table* table,
+                                         const std::vector<Condition>& where);
+
+  /// Row-level predicate check against resolved column indices.
+  static Result<bool> Matches(const Schema& schema,
+                              const std::vector<Condition>& where,
+                              const Row& row);
+
+  /// Runs `body` inside the session transaction (or an autocommit one).
+  Result<ResultSet> WithTxn(
+      const std::function<Result<ResultSet>(const engine::TxnPtr&)>& body);
+
+  transform::TransformConfig ConfigFrom(const TransformOptions& options) const;
+  /// Collects the finished transformation's outcome, if any.
+  std::string ReapTransform();
+
+  engine::Database* db_;
+  engine::TxnPtr txn_;
+  std::optional<RunningTransform> transform_;
+};
+
+}  // namespace morph::sql

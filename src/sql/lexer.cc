@@ -1,0 +1,114 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace morph::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comment to end of line
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      tokens.push_back({TokenKind::kIdentifier, input.substr(start, i - start),
+                        start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      tokens.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                        input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(value), start});
+      continue;
+    }
+    // Multi-char comparison symbols first.
+    if ((c == '<' || c == '>' || c == '!') && i + 1 < n) {
+      const char d = input[i + 1];
+      if (d == '=' || (c == '<' && d == '>')) {
+        tokens.push_back({TokenKind::kSymbol, input.substr(i, 2), i});
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),;*=<>.").find(c) != std::string::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+bool KeywordEq(const Token& token, const char* keyword) {
+  if (token.kind != TokenKind::kIdentifier) return false;
+  const std::string& t = token.text;
+  size_t i = 0;
+  for (; keyword[i] != '\0'; ++i) {
+    if (i >= t.size()) return false;
+    if (std::toupper(static_cast<unsigned char>(t[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return i == t.size();
+}
+
+}  // namespace morph::sql

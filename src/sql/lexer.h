@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace morph::sql {
+
+/// \brief Token kinds produced by the lexer. Keywords are recognized by the
+/// parser from kIdentifier tokens (case-insensitive), keeping the lexer
+/// dumb and the keyword set easy to extend.
+enum class TokenKind : uint8_t {
+  kIdentifier,   ///< bare word: SELECT, foo, NULL, ...
+  kInteger,      ///< 123, -5
+  kFloat,        ///< 1.5, -0.25
+  kString,       ///< 'single quoted', '' escapes a quote
+  kSymbol,       ///< ( ) , ; * = < > <= >= <> != .
+  kEnd,          ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< raw text (uppercased for identifiers? no — verbatim)
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+
+  bool Is(TokenKind k) const { return kind == k; }
+};
+
+/// \brief Splits a SQL string into tokens.
+///
+/// Comments: `-- to end of line`. Strings use single quotes with '' as the
+/// escape. Numbers: optional leading '-', digits, optional fraction.
+/// Fails with InvalidArgument on unterminated strings or stray characters.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+/// \brief Case-insensitive keyword comparison helper.
+bool KeywordEq(const Token& token, const char* keyword);
+
+}  // namespace morph::sql

@@ -1,0 +1,409 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+namespace morph::sql {
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::InvalidArgument(message + " (near '" + t.text + "' at offset " +
+                                 std::to_string(t.offset) + ")");
+}
+
+bool Parser::AcceptKeyword(const char* kw) {
+  if (KeywordEq(Peek(), kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::AcceptSymbol(const char* sym) {
+  if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!AcceptKeyword(kw)) return ErrorHere(std::string("expected ") + kw);
+  return Status::OK();
+}
+
+Status Parser::ExpectSymbol(const char* sym) {
+  if (!AcceptSymbol(sym)) return ErrorHere(std::string("expected '") + sym + "'");
+  return Status::OK();
+}
+
+Result<std::string> Parser::ExpectIdentifier(const char* what) {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere(std::string("expected ") + what);
+  }
+  return Next().text;
+}
+
+Result<Value> Parser::ParseLiteral() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger:
+      Next();
+      return Value(static_cast<int64_t>(std::strtoll(t.text.c_str(), nullptr, 10)));
+    case TokenKind::kFloat:
+      Next();
+      return Value(std::strtod(t.text.c_str(), nullptr));
+    case TokenKind::kString:
+      Next();
+      return Value(t.text);
+    case TokenKind::kIdentifier:
+      if (KeywordEq(t, "NULL")) {
+        Next();
+        return Value::Null();
+      }
+      if (KeywordEq(t, "TRUE")) {
+        Next();
+        return Value(true);
+      }
+      if (KeywordEq(t, "FALSE")) {
+        Next();
+        return Value(false);
+      }
+      return ErrorHere("expected a literal");
+    default:
+      return ErrorHere("expected a literal");
+  }
+}
+
+Result<Condition> Parser::ParseCondition() {
+  Condition cond;
+  MORPH_ASSIGN_OR_RETURN(cond.column, ExpectIdentifier("column name"));
+  const Token& op = Peek();
+  if (op.kind != TokenKind::kSymbol) return ErrorHere("expected comparison");
+  if (op.text == "=") {
+    cond.op = Condition::Op::kEq;
+  } else if (op.text == "!=" || op.text == "<>") {
+    cond.op = Condition::Op::kNe;
+  } else if (op.text == "<") {
+    cond.op = Condition::Op::kLt;
+  } else if (op.text == "<=") {
+    cond.op = Condition::Op::kLe;
+  } else if (op.text == ">") {
+    cond.op = Condition::Op::kGt;
+  } else if (op.text == ">=") {
+    cond.op = Condition::Op::kGe;
+  } else {
+    return ErrorHere("expected comparison operator");
+  }
+  Next();
+  MORPH_ASSIGN_OR_RETURN(cond.literal, ParseLiteral());
+  return cond;
+}
+
+Result<std::vector<Condition>> Parser::ParseWhere() {
+  std::vector<Condition> conds;
+  if (!AcceptKeyword("WHERE")) return conds;
+  while (true) {
+    MORPH_ASSIGN_OR_RETURN(Condition c, ParseCondition());
+    conds.push_back(std::move(c));
+    if (!AcceptKeyword("AND")) break;
+  }
+  return conds;
+}
+
+Result<std::vector<std::string>> Parser::ParseNameList() {
+  std::vector<std::string> names;
+  MORPH_RETURN_NOT_OK(ExpectSymbol("("));
+  while (true) {
+    MORPH_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("column name"));
+    names.push_back(std::move(name));
+    if (AcceptSymbol(")")) break;
+    MORPH_RETURN_NOT_OK(ExpectSymbol(","));
+  }
+  return names;
+}
+
+Result<TransformOptions> Parser::ParseTransformOptions() {
+  TransformOptions options;
+  if (!AcceptKeyword("WITH")) return options;
+  while (true) {
+    if (AcceptKeyword("PRIORITY")) {
+      const Token& t = Peek();
+      if (t.kind != TokenKind::kFloat && t.kind != TokenKind::kInteger) {
+        return ErrorHere("expected a number after PRIORITY");
+      }
+      Next();
+      options.priority = std::strtod(t.text.c_str(), nullptr);
+    } else if (AcceptKeyword("STRATEGY")) {
+      if (AcceptKeyword("BLOCKING")) {
+        options.strategy = transform::SyncStrategy::kBlockingCommit;
+      } else if (AcceptKeyword("ABORT")) {
+        options.strategy = transform::SyncStrategy::kNonBlockingAbort;
+      } else if (AcceptKeyword("COMMIT")) {
+        options.strategy = transform::SyncStrategy::kNonBlockingCommit;
+      } else {
+        return ErrorHere("expected BLOCKING, ABORT or COMMIT");
+      }
+    } else if (AcceptKeyword("CONTINUOUS")) {
+      options.continuous = true;
+    } else if (AcceptKeyword("KEEP")) {
+      MORPH_RETURN_NOT_OK(ExpectKeyword("SOURCES"));
+      options.keep_sources = true;
+    } else if (AcceptKeyword("CHECK")) {
+      MORPH_RETURN_NOT_OK(ExpectKeyword("CONSISTENCY"));
+      options.check_consistency = true;
+    } else if (AcceptKeyword("REUSE")) {
+      MORPH_RETURN_NOT_OK(ExpectKeyword("SOURCE"));
+      options.reuse_source = true;
+    } else {
+      return ErrorHere("unknown transformation option");
+    }
+    if (!AcceptSymbol(",")) break;
+  }
+  return options;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  MORPH_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  CreateTableStmt stmt;
+  MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  MORPH_RETURN_NOT_OK(ExpectSymbol("("));
+  while (true) {
+    if (AcceptKeyword("PRIMARY")) {
+      MORPH_RETURN_NOT_OK(ExpectKeyword("KEY"));
+      MORPH_ASSIGN_OR_RETURN(stmt.key_columns, ParseNameList());
+    } else {
+      Column col;
+      MORPH_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+      if (AcceptKeyword("INT") || AcceptKeyword("BIGINT") ||
+          AcceptKeyword("INTEGER")) {
+        col.type = ValueType::kInt64;
+      } else if (AcceptKeyword("DOUBLE") || AcceptKeyword("FLOAT") ||
+                 AcceptKeyword("REAL")) {
+        col.type = ValueType::kDouble;
+      } else if (AcceptKeyword("TEXT") || AcceptKeyword("STRING") ||
+                 AcceptKeyword("VARCHAR")) {
+        col.type = ValueType::kString;
+        // Optional (n) length, accepted and ignored.
+        if (AcceptSymbol("(")) {
+          Next();
+          MORPH_RETURN_NOT_OK(ExpectSymbol(")"));
+        }
+      } else if (AcceptKeyword("BOOL") || AcceptKeyword("BOOLEAN")) {
+        col.type = ValueType::kBool;
+      } else {
+        return ErrorHere("expected a column type");
+      }
+      col.nullable = true;
+      if (AcceptKeyword("NOT")) {
+        MORPH_RETURN_NOT_OK(ExpectKeyword("NULL"));
+        col.nullable = false;
+      }
+      stmt.columns.push_back(std::move(col));
+    }
+    if (AcceptSymbol(")")) break;
+    MORPH_RETURN_NOT_OK(ExpectSymbol(","));
+  }
+  if (stmt.key_columns.empty()) {
+    return ErrorHere("CREATE TABLE requires a PRIMARY KEY clause");
+  }
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseDrop() {
+  MORPH_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+  DropTableStmt stmt;
+  MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseInsert() {
+  MORPH_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  InsertStmt stmt;
+  MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  if (Peek().kind == TokenKind::kSymbol && Peek().text == "(") {
+    MORPH_ASSIGN_OR_RETURN(stmt.columns, ParseNameList());
+  }
+  MORPH_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  while (true) {
+    MORPH_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<Value> row;
+    while (true) {
+      MORPH_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      row.push_back(std::move(v));
+      if (AcceptSymbol(")")) break;
+      MORPH_RETURN_NOT_OK(ExpectSymbol(","));
+    }
+    stmt.rows.push_back(std::move(row));
+    if (!AcceptSymbol(",")) break;
+  }
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  UpdateStmt stmt;
+  MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  MORPH_RETURN_NOT_OK(ExpectKeyword("SET"));
+  while (true) {
+    std::string column;
+    MORPH_ASSIGN_OR_RETURN(column, ExpectIdentifier("column name"));
+    MORPH_RETURN_NOT_OK(ExpectSymbol("="));
+    MORPH_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+    stmt.sets.emplace_back(std::move(column), std::move(v));
+    if (!AcceptSymbol(",")) break;
+  }
+  MORPH_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseDelete() {
+  MORPH_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  DeleteStmt stmt;
+  MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  MORPH_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseSelect() {
+  SelectStmt stmt;
+  if (!AcceptSymbol("*")) {
+    while (true) {
+      MORPH_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      stmt.columns.push_back(std::move(col));
+      if (!AcceptSymbol(",")) break;
+    }
+  }
+  MORPH_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  MORPH_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+  if (AcceptKeyword("LIMIT")) {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kInteger) return ErrorHere("expected LIMIT count");
+    Next();
+    stmt.limit = static_cast<size_t>(std::strtoull(t.text.c_str(), nullptr, 10));
+  }
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseShow() {
+  if (AcceptKeyword("TABLES")) return Statement(ShowTablesStmt{});
+  if (AcceptKeyword("TRANSFORM")) return Statement(ShowTransformStmt{});
+  return ErrorHere("expected TABLES or TRANSFORM");
+}
+
+Result<Statement> Parser::ParseTransform() {
+  if (AcceptKeyword("ABORT")) {
+    return Statement(TransformControlStmt{TransformControlStmt::What::kAbort});
+  }
+  if (AcceptKeyword("FINISH")) {
+    return Statement(TransformControlStmt{TransformControlStmt::What::kFinish});
+  }
+  if (AcceptKeyword("JOIN")) {
+    TransformJoinStmt stmt;
+    MORPH_ASSIGN_OR_RETURN(stmt.r_table, ExpectIdentifier("table name"));
+    MORPH_RETURN_NOT_OK(ExpectSymbol(","));
+    MORPH_ASSIGN_OR_RETURN(stmt.s_table, ExpectIdentifier("table name"));
+    MORPH_RETURN_NOT_OK(ExpectKeyword("ON"));
+    // r.col = s.col (qualifiers must match the two tables, either order).
+    std::string t1, c1, t2, c2;
+    MORPH_ASSIGN_OR_RETURN(t1, ExpectIdentifier("table qualifier"));
+    MORPH_RETURN_NOT_OK(ExpectSymbol("."));
+    MORPH_ASSIGN_OR_RETURN(c1, ExpectIdentifier("column name"));
+    MORPH_RETURN_NOT_OK(ExpectSymbol("="));
+    MORPH_ASSIGN_OR_RETURN(t2, ExpectIdentifier("table qualifier"));
+    MORPH_RETURN_NOT_OK(ExpectSymbol("."));
+    MORPH_ASSIGN_OR_RETURN(c2, ExpectIdentifier("column name"));
+    if (t1 == stmt.r_table && t2 == stmt.s_table) {
+      stmt.r_column = c1;
+      stmt.s_column = c2;
+    } else if (t1 == stmt.s_table && t2 == stmt.r_table) {
+      stmt.r_column = c2;
+      stmt.s_column = c1;
+    } else {
+      return ErrorHere("ON qualifiers must name the joined tables");
+    }
+    MORPH_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    MORPH_ASSIGN_OR_RETURN(stmt.target, ExpectIdentifier("target table"));
+    MORPH_ASSIGN_OR_RETURN(stmt.options, ParseTransformOptions());
+    return Statement(std::move(stmt));
+  }
+  if (AcceptKeyword("SPLIT")) {
+    TransformSplitStmt stmt;
+    MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    MORPH_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    MORPH_ASSIGN_OR_RETURN(stmt.r_name, ExpectIdentifier("target name"));
+    MORPH_ASSIGN_OR_RETURN(stmt.r_columns, ParseNameList());
+    MORPH_RETURN_NOT_OK(ExpectSymbol(","));
+    MORPH_ASSIGN_OR_RETURN(stmt.s_name, ExpectIdentifier("target name"));
+    MORPH_ASSIGN_OR_RETURN(stmt.s_columns, ParseNameList());
+    MORPH_RETURN_NOT_OK(ExpectKeyword("ON"));
+    MORPH_ASSIGN_OR_RETURN(stmt.split_columns, ParseNameList());
+    MORPH_ASSIGN_OR_RETURN(stmt.options, ParseTransformOptions());
+    return Statement(std::move(stmt));
+  }
+  if (AcceptKeyword("MERGE")) {
+    TransformMergeStmt stmt;
+    MORPH_ASSIGN_OR_RETURN(stmt.r_table, ExpectIdentifier("table name"));
+    MORPH_RETURN_NOT_OK(ExpectSymbol(","));
+    MORPH_ASSIGN_OR_RETURN(stmt.s_table, ExpectIdentifier("table name"));
+    MORPH_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    MORPH_ASSIGN_OR_RETURN(stmt.target, ExpectIdentifier("target table"));
+    MORPH_ASSIGN_OR_RETURN(stmt.options, ParseTransformOptions());
+    return Statement(std::move(stmt));
+  }
+  if (AcceptKeyword("HSPLIT")) {
+    TransformHsplitStmt stmt;
+    MORPH_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    MORPH_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    MORPH_ASSIGN_OR_RETURN(stmt.r_name, ExpectIdentifier("target name"));
+    MORPH_RETURN_NOT_OK(ExpectSymbol(","));
+    MORPH_ASSIGN_OR_RETURN(stmt.s_name, ExpectIdentifier("target name"));
+    MORPH_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    MORPH_ASSIGN_OR_RETURN(stmt.predicate, ParseCondition());
+    MORPH_ASSIGN_OR_RETURN(stmt.options, ParseTransformOptions());
+    return Statement(std::move(stmt));
+  }
+  return ErrorHere("expected JOIN, SPLIT, MERGE, HSPLIT, ABORT or FINISH");
+}
+
+Result<Statement> Parser::ParseStatement() {
+  if (AcceptKeyword("CREATE")) return ParseCreate();
+  if (AcceptKeyword("DROP")) return ParseDrop();
+  if (AcceptKeyword("INSERT")) return ParseInsert();
+  if (AcceptKeyword("UPDATE")) return ParseUpdate();
+  if (AcceptKeyword("DELETE")) return ParseDelete();
+  if (AcceptKeyword("SELECT")) return ParseSelect();
+  if (AcceptKeyword("BEGIN")) return Statement(BeginStmt{});
+  if (AcceptKeyword("COMMIT")) return Statement(CommitStmt{});
+  if (AcceptKeyword("ROLLBACK")) return Statement(RollbackStmt{});
+  if (AcceptKeyword("SHOW")) return ParseShow();
+  if (AcceptKeyword("TRANSFORM")) return ParseTransform();
+  return ErrorHere("expected a statement");
+}
+
+Result<Statement> Parser::Parse(const std::string& input) {
+  MORPH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  MORPH_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  (void)parser.AcceptSymbol(";");
+  if (!parser.Peek().Is(TokenKind::kEnd)) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<std::vector<Statement>> Parser::ParseScript(const std::string& input) {
+  MORPH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  std::vector<Statement> statements;
+  while (!parser.Peek().Is(TokenKind::kEnd)) {
+    if (parser.AcceptSymbol(";")) continue;
+    MORPH_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+    statements.push_back(std::move(stmt));
+    if (!parser.Peek().Is(TokenKind::kEnd)) {
+      MORPH_RETURN_NOT_OK(parser.ExpectSymbol(";"));
+    }
+  }
+  return statements;
+}
+
+}  // namespace morph::sql

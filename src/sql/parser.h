@@ -1,0 +1,81 @@
+#pragma once
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace morph::sql {
+
+/// \brief Recursive-descent parser for the morph SQL dialect.
+///
+/// Supported statements (keywords case-insensitive, `;` optional):
+///
+///   CREATE TABLE t (col TYPE [NOT NULL] ..., PRIMARY KEY (c1, ...))
+///   DROP TABLE t
+///   INSERT INTO t [(cols)] VALUES (v, ...)[, (v, ...) ...]
+///   UPDATE t SET c = v [, ...] [WHERE conds]
+///   DELETE FROM t [WHERE conds]
+///   SELECT * | c1, c2 FROM t [WHERE conds] [LIMIT n]
+///   BEGIN | COMMIT | ROLLBACK
+///   SHOW TABLES | SHOW TRANSFORM
+///   TRANSFORM JOIN r, s ON r.c = s.c INTO t [options]
+///   TRANSFORM SPLIT t INTO r (c...), s (c...) ON (c...) [options]
+///   TRANSFORM MERGE a, b INTO t [options]
+///   TRANSFORM HSPLIT t INTO r, s WHERE c < v [options]
+///   TRANSFORM ABORT | TRANSFORM FINISH
+///
+/// options: WITH PRIORITY <float> | STRATEGY BLOCKING|ABORT|COMMIT
+///          | CONTINUOUS | KEEP SOURCES | CHECK CONSISTENCY | REUSE SOURCE
+/// (several may follow one WITH, separated by commas)
+///
+/// Types: INT | BIGINT | DOUBLE | TEXT | STRING | BOOL
+/// WHERE: conjunctions of `col OP literal` with OP in = != <> < <= > >=;
+/// literals: integers, floats, 'strings', TRUE, FALSE, NULL.
+class Parser {
+ public:
+  /// \brief Parses one statement from `input`.
+  static Result<Statement> Parse(const std::string& input);
+
+  /// \brief Splits `input` on top-level `;` and parses each statement.
+  static Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool AcceptKeyword(const char* kw);
+  bool AcceptSymbol(const char* sym);
+  Status ExpectKeyword(const char* kw);
+  Status ExpectSymbol(const char* sym);
+  Result<std::string> ExpectIdentifier(const char* what);
+  Result<Value> ParseLiteral();
+  Result<std::vector<Condition>> ParseWhere();
+  Result<Condition> ParseCondition();
+  Result<TransformOptions> ParseTransformOptions();
+  Result<std::vector<std::string>> ParseNameList();
+
+  Result<Statement> ParseStatement();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDrop();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseSelect();
+  Result<Statement> ParseShow();
+  Result<Statement> ParseTransform();
+
+  Status ErrorHere(const std::string& message) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace morph::sql

@@ -1,0 +1,71 @@
+#include "storage/catalog.h"
+
+namespace morph::storage {
+
+Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
+                                                    Schema schema,
+                                                    size_t num_shards) {
+  std::unique_lock lock(mu_);
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  const TableId id = next_id_++;
+  auto table = std::make_shared<Table>(id, name, std::move(schema), num_shards);
+  by_name_[name] = table;
+  by_id_[id] = table;
+  return table;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  by_id_.erase(it->second->id());
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::RenameTable(const std::string& from, const std::string& to) {
+  std::unique_lock lock(mu_);
+  auto it = by_name_.find(from);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named " + from);
+  }
+  if (by_name_.count(to)) {
+    return Status::AlreadyExists("table " + to + " already exists");
+  }
+  std::shared_ptr<Table> table = it->second;
+  by_name_.erase(it);
+  table->set_name(to);
+  by_name_[to] = table;
+  return Status::OK();
+}
+
+std::shared_ptr<Table> Catalog::GetByName(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Table> Catalog::GetById(TableId id) const {
+  std::shared_lock lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, table] : by_name_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::num_tables() const {
+  std::shared_lock lock(mu_);
+  return by_name_.size();
+}
+
+}  // namespace morph::storage

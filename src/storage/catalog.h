@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "storage/table.h"
+
+namespace morph::storage {
+
+/// \brief The table catalog: name → table, with id assignment.
+///
+/// Transformation preparation creates the transformed tables here (paper
+/// §3.1); synchronization completes by dropping the source tables and —
+/// typically — renaming the transformed tables into their place (§3.4).
+///
+/// Tables are owned by shared_ptr so that a fuzzy scan or log propagator
+/// holding a reference keeps the table alive even if a concurrent DROP
+/// removes it from the catalog.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// \brief Creates a table; fails with AlreadyExists on a name clash.
+  Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
+                                             Schema schema,
+                                             size_t num_shards = 64);
+
+  /// \brief Removes the table from the catalog. Outstanding shared_ptr
+  /// references keep the storage alive until released.
+  Status DropTable(const std::string& name);
+
+  /// \brief Renames a table; fails if `to` exists.
+  Status RenameTable(const std::string& from, const std::string& to);
+
+  std::shared_ptr<Table> GetByName(const std::string& name) const;
+  std::shared_ptr<Table> GetById(TableId id) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t num_tables() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  TableId next_id_ = 1;
+  std::unordered_map<std::string, std::shared_ptr<Table>> by_name_;
+  std::unordered_map<TableId, std::shared_ptr<Table>> by_id_;
+};
+
+}  // namespace morph::storage

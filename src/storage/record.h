@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/row.h"
+#include "common/types.h"
+
+namespace morph::storage {
+
+/// \brief A stored record: the row image plus storage metadata.
+///
+/// `lsn` is the record state identifier required by the fuzzy-copy technique
+/// (paper §2.2/§4.2): the LSN of the log record that produced this version.
+/// Records in a FOJ-transformed table have *no valid* state identifier (they
+/// merge two source records); the FOJ propagation rules never read it.
+///
+/// `counter` and `consistent` are used only by the S-side table of a split
+/// transformation: `counter` is the Gupta-style reference count of T-records
+/// contributing to this S-record (paper §5), and `consistent` is the C/U
+/// flag of §5.3 (true = C). They are inert for ordinary tables.
+struct Record {
+  Row row;
+  Lsn lsn = kInvalidLsn;
+  int64_t counter = 0;
+  bool consistent = true;
+};
+
+}  // namespace morph::storage

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace morph::storage {
+
+/// \brief Binary serialization of a table's *contents* (rows plus storage
+/// metadata — LSNs, split counters, consistency flags). Schemas are not
+/// stored: like the paper's prototype, DDL is not logged, so whoever
+/// restores a snapshot recreates the schema first (mirrors
+/// engine::Recovery's contract).
+///
+/// Snapshots are taken with a fuzzy scan, so a snapshot of a live table is
+/// transactionally inconsistent by itself; engine::Checkpointer makes it
+/// usable by pairing it with the WAL position captured *before* the scan
+/// and replaying the suffix with LSN-gated redo.
+class TableSnapshot {
+ public:
+  /// \brief Writes `table`'s current (fuzzily scanned) contents to `path`.
+  static Status Save(const Table& table, const std::string& path);
+
+  /// \brief Loads records from `path` into `table` (which must be empty).
+  static Status Load(Table* table, const std::string& path);
+};
+
+}  // namespace morph::storage

@@ -1,0 +1,195 @@
+#include "storage/table.h"
+
+namespace morph::storage {
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Table::Table(TableId id, std::string name, Schema schema, size_t num_shards)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      shard_mask_(RoundUpPow2(num_shards) - 1),
+      shards_(shard_mask_ + 1) {}
+
+void Table::IndexAdd(const Record& record, const Row& pk) {
+  std::unique_lock lock(indexes_mu_);
+  for (auto& idx : indexes_) idx->Add(idx->KeyOf(record.row), pk);
+}
+
+void Table::IndexRemove(const Record& record, const Row& pk) {
+  std::unique_lock lock(indexes_mu_);
+  for (auto& idx : indexes_) idx->Remove(idx->KeyOf(record.row), pk);
+}
+
+Status Table::Insert(Record record) {
+  const Row pk = schema_.KeyOf(record.row);
+  Shard& shard = ShardFor(pk);
+  {
+    std::unique_lock lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(pk, record);
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate key " + pk.ToString() + " in " +
+                                   name_);
+    }
+  }
+  IndexAdd(record, pk);
+  return Status::OK();
+}
+
+Status Table::Update(const Row& key, Record record) {
+  const Row new_pk = schema_.KeyOf(record.row);
+  if (new_pk != key) {
+    return Status::InvalidArgument("Update may not change the primary key (" +
+                                   key.ToString() + " -> " + new_pk.ToString() +
+                                   ")");
+  }
+  Shard& shard = ShardFor(key);
+  Record old_record;
+  {
+    std::unique_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      return Status::NotFound("no record with key " + key.ToString() + " in " +
+                              name_);
+    }
+    old_record = it->second;
+    it->second = record;
+  }
+  IndexRemove(old_record, key);
+  IndexAdd(record, key);
+  return Status::OK();
+}
+
+Status Table::Delete(const Row& key) {
+  Shard& shard = ShardFor(key);
+  Record old_record;
+  {
+    std::unique_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      return Status::NotFound("no record with key " + key.ToString() + " in " +
+                              name_);
+    }
+    old_record = std::move(it->second);
+    shard.map.erase(it);
+  }
+  IndexRemove(old_record, key);
+  return Status::OK();
+}
+
+Result<Record> Table::Get(const Row& key) const {
+  const Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return Status::NotFound("no record with key " + key.ToString() + " in " +
+                            name_);
+  }
+  return it->second;
+}
+
+bool Table::Contains(const Row& key) const {
+  const Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  return shard.map.find(key) != shard.map.end();
+}
+
+Status Table::Mutate(const Row& key, const std::function<bool(Record*)>& fn) {
+  Shard& shard = ShardFor(key);
+  Record old_record;
+  Record new_record;
+  bool changed = false;
+  {
+    std::unique_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      return Status::NotFound("no record with key " + key.ToString() + " in " +
+                              name_);
+    }
+    old_record = it->second;
+    Record tmp = it->second;
+    if (fn(&tmp)) {
+      if (schema_.KeyOf(tmp.row) != key) {
+        return Status::InvalidArgument("Mutate may not change the primary key");
+      }
+      it->second = tmp;
+      new_record = std::move(tmp);
+      changed = true;
+    }
+  }
+  if (changed && !(old_record.row == new_record.row)) {
+    IndexRemove(old_record, key);
+    IndexAdd(new_record, key);
+  }
+  return Status::OK();
+}
+
+void Table::FuzzyScan(const std::function<void(const Record&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::vector<Record> snapshot;
+    {
+      std::unique_lock lock(shard.mu);
+      snapshot.reserve(shard.map.size());
+      for (const auto& [key, record] : shard.map) snapshot.push_back(record);
+    }
+    for (const Record& record : snapshot) fn(record);
+  }
+}
+
+size_t Table::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::vector<std::string>& column_names) {
+  MORPH_ASSIGN_OR_RETURN(std::vector<size_t> cols,
+                         schema_.IndicesOf(column_names));
+  auto index = std::make_unique<SecondaryIndex>(index_name, std::move(cols));
+  {
+    std::unique_lock lock(indexes_mu_);
+    for (const auto& existing : indexes_) {
+      if (existing->name() == index_name) {
+        return Status::AlreadyExists("index " + index_name + " already exists");
+      }
+    }
+    indexes_.push_back(std::move(index));
+  }
+  // Backfill. New writers already see the index (it is in indexes_), so a
+  // record written during backfill may be added twice; SecondaryIndex::Add
+  // deduplicates (key, pk) pairs, making this idempotent.
+  SecondaryIndex* idx = GetIndex(index_name);
+  FuzzyScan([&](const Record& record) {
+    idx->Add(idx->KeyOf(record.row), schema_.KeyOf(record.row));
+  });
+  return Status::OK();
+}
+
+SecondaryIndex* Table::GetIndex(const std::string& index_name) const {
+  std::unique_lock lock(indexes_mu_);
+  for (const auto& idx : indexes_) {
+    if (idx->name() == index_name) return idx.get();
+  }
+  return nullptr;
+}
+
+void Table::Clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    shard.map.clear();
+  }
+  std::unique_lock lock(indexes_mu_);
+  for (auto& idx : indexes_) idx->Clear();
+}
+
+}  // namespace morph::storage

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/index.h"
+#include "storage/record.h"
+
+namespace morph::storage {
+
+/// \brief An in-memory heap table: a sharded hash map from primary key to
+/// Record, plus any number of secondary indexes.
+///
+/// This layer is purely *physical*. Transactional concerns — record locks,
+/// WAL logging, constraint enforcement — live in engine::Database. The
+/// physical layer still matters to the paper's method in two ways:
+///
+///  1. **Fuzzy scan.** FuzzyScan() reads the table *without any
+///     transactional locks*, shard by shard, each shard snapshot taken under
+///     the shard mutex (so individual records are never torn) but with
+///     writers free to run between shards. The result is exactly the
+///     transactionally inconsistent "fuzzy" image of paper §2.2/§3.2.
+///  2. **Table latch.** The table carries (but does not itself acquire) a
+///     reader-writer latch. engine::Database holds it in shared mode across
+///     each transactional operation (record lock + WAL append + apply); the
+///     synchronization step of a transformation takes it exclusively, which
+///     pauses all activity on the table for the final log-propagation pass
+///     (paper §3.4). Keeping acquisition at the engine layer avoids
+///     recursive shared acquisition, which could deadlock against a pending
+///     exclusive request.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class Table {
+ public:
+  /// \param id catalog-assigned identifier
+  /// \param name table name
+  /// \param schema column layout and primary-key set
+  /// \param num_shards power-of-two shard count for the hash heap
+  Table(TableId id, std::string name, Schema schema, size_t num_shards = 64);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  /// \brief Inserts a record; the primary key is extracted from its row.
+  /// Fails with AlreadyExists if the key is present.
+  Status Insert(Record record);
+
+  /// \brief Replaces the record at `key` (the new row must have the same
+  /// primary key). Secondary indexes are maintained.
+  Status Update(const Row& key, Record record);
+
+  /// \brief Removes the record at `key`.
+  Status Delete(const Row& key);
+
+  /// \brief Copy of the record at `key`.
+  Result<Record> Get(const Row& key) const;
+
+  bool Contains(const Row& key) const;
+
+  /// \brief Atomically reads-modifies-writes the record at `key` under the
+  /// shard mutex. `fn` returns false to signal "leave unchanged" (no index
+  /// maintenance). The row's primary key must not change. Used by the split
+  /// propagator for counter/LSN/flag updates that must be atomic.
+  Status Mutate(const Row& key, const std::function<bool(Record*)>& fn);
+
+  /// \brief Fuzzy scan: per-shard snapshots without transactional locks.
+  /// `fn` is invoked outside any shard mutex.
+  void FuzzyScan(const std::function<void(const Record&)>& fn) const;
+
+  /// \brief Locked iteration helper for tests/oracles: like FuzzyScan but
+  /// the caller typically holds the table latch exclusively, making the
+  /// result action-consistent.
+  void ForEach(const std::function<void(const Record&)>& fn) const {
+    FuzzyScan(fn);
+  }
+
+  size_t size() const;
+
+  /// \brief Creates a secondary index over `column_names` and backfills it
+  /// from the current contents. Fails if an index with that name exists or a
+  /// column is unknown.
+  Status CreateIndex(const std::string& index_name,
+                     const std::vector<std::string>& column_names);
+
+  /// \brief Index lookup by name; nullptr if absent.
+  SecondaryIndex* GetIndex(const std::string& index_name) const;
+
+  /// \brief The table latch (shared = normal ops, exclusive = pause table).
+  std::shared_mutex& latch() const { return latch_; }
+
+  /// \brief Row-count and per-record visitor used by recovery to rebuild.
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Row, Record, RowHasher> map;
+  };
+
+  Shard& ShardFor(const Row& key) {
+    return shards_[key.Hash() & shard_mask_];
+  }
+  const Shard& ShardFor(const Row& key) const {
+    return shards_[key.Hash() & shard_mask_];
+  }
+
+  void IndexAdd(const Record& record, const Row& pk);
+  void IndexRemove(const Record& record, const Row& pk);
+
+  const TableId id_;
+  std::string name_;
+  const Schema schema_;
+  const size_t shard_mask_;
+  std::vector<Shard> shards_;
+
+  mutable std::shared_mutex latch_;
+
+  mutable std::mutex indexes_mu_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+};
+
+}  // namespace morph::storage

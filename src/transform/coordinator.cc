@@ -1,0 +1,659 @@
+#include "transform/coordinator.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace morph::transform {
+
+std::string_view SyncStrategyToString(SyncStrategy s) {
+  switch (s) {
+    case SyncStrategy::kBlockingCommit:
+      return "blocking-commit";
+    case SyncStrategy::kNonBlockingAbort:
+      return "non-blocking-abort";
+    case SyncStrategy::kNonBlockingCommit:
+      return "non-blocking-commit";
+  }
+  return "unknown";
+}
+
+TransformCoordinator::TransformCoordinator(engine::Database* db,
+                                           std::shared_ptr<OperatorRules> rules,
+                                           TransformConfig config)
+    : db_(db),
+      rules_(std::move(rules)),
+      config_(config),
+      priority_(config.priority),
+      tlocks_(config.target_lock_wait_micros) {}
+
+TransformCoordinator::~TransformCoordinator() {
+  if (hook_registered_.load(std::memory_order_acquire)) {
+    db_->ClearTransformHook();
+  }
+}
+
+bool TransformCoordinator::IsSourceTable(TableId id) const {
+  for (TableId s : source_ids_) {
+    if (s == id) return true;
+  }
+  return false;
+}
+
+bool TransformCoordinator::IsTargetTable(TableId id) const {
+  for (TableId t : target_ids_) {
+    if (t == id) return true;
+  }
+  return false;
+}
+
+txn::LockOrigin TransformCoordinator::OriginOf(TableId source_table) const {
+  if (!source_ids_.empty() && source_table == source_ids_[0]) {
+    return txn::LockOrigin::kSource0;
+  }
+  return txn::LockOrigin::kSource1;
+}
+
+// --- propagation -------------------------------------------------------------
+
+Status TransformCoordinator::ProcessRecord(const wal::LogRecord& rec) {
+  switch (rec.type) {
+    case wal::LogRecordType::kInsert:
+    case wal::LogRecordType::kDelete:
+    case wal::LogRecordType::kUpdate:
+    case wal::LogRecordType::kClr: {
+      if (!IsSourceTable(rec.table_id)) return Status::OK();
+      auto op = Op::FromLogRecord(rec);
+      if (!op) return Status::OK();
+      std::vector<txn::RecordId> affected;
+      MORPH_RETURN_NOT_OK(
+          rules_->Apply(*op, config_.maintain_locks ? &affected : nullptr));
+      if (config_.maintain_locks && op->txn_id != kInvalidTxnId) {
+        // §3.3: locks are maintained on the transformed-table records for
+        // the whole transformation; conflicts among transferred locks are
+        // impossible by Figure 2, so this never blocks.
+        const txn::LockOrigin origin = OriginOf(rec.table_id);
+        for (const txn::RecordId& rid : affected) {
+          tlocks_.AddTransferred(op->txn_id, rid, origin, txn::Access::kWrite);
+        }
+      }
+      ops_propagated_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    case wal::LogRecordType::kCommit:
+    case wal::LogRecordType::kTxnEnd:
+      // "Source table locks held in the transformed tables are released as
+      // soon as the propagator has processed the [completion] log record of
+      // the lock owner transaction" (§3.4).
+      tlocks_.ReleaseTxn(rec.txn_id);
+      return Status::OK();
+    case wal::LogRecordType::kCcBegin:
+    case wal::LogRecordType::kCcOk:
+      return rules_->OnControlRecord(rec);
+    default:
+      return Status::OK();
+  }
+}
+
+Result<size_t> TransformCoordinator::PropagateRange(Lsn from, Lsn to,
+                                                    bool throttled) {
+  size_t count = 0;
+  next_lsn_ = from;
+  while (next_lsn_ <= to) {
+    const Lsn stop = std::min<Lsn>(to, next_lsn_ + config_.batch_size - 1);
+    const auto batch_start = Clock::Now();
+    Status status;
+    db_->wal()->Scan(next_lsn_, stop, [&](const wal::LogRecord& rec) {
+      if (!status.ok()) return;
+      status = ProcessRecord(rec);
+      count++;
+    });
+    MORPH_RETURN_NOT_OK(status);
+    next_lsn_ = stop + 1;
+    if (throttled) {
+      priority_.OnWorkDone(Clock::NanosSince(batch_start));
+      if (abort_requested_.load(std::memory_order_acquire) &&
+          !switched_.load(std::memory_order_acquire)) {
+        break;  // the Run loop will handle the abort
+      }
+    }
+  }
+  return count;
+}
+
+// --- the four steps ------------------------------------------------------------
+
+Result<TransformStats> TransformCoordinator::Run() {
+  TransformStats stats;
+  const auto run_start = Clock::Now();
+
+  // Step 1: preparation (§3.1).
+  phase_.store(Phase::kPreparing, std::memory_order_release);
+  {
+    const auto t0 = Clock::Now();
+    const Status st = rules_->Prepare();
+    stats.prepare_micros = Clock::MicrosSince(t0);
+    if (!st.ok()) {
+      AbortTransformation("prepare failed: " + st.ToString(), &stats);
+      return stats;
+    }
+  }
+  for (const auto& t : rules_->Sources()) source_ids_.push_back(t->id());
+  for (const auto& t : rules_->Targets()) target_ids_.push_back(t->id());
+
+  if (config_.strategy == SyncStrategy::kNonBlockingCommit) {
+    for (TableId id : source_ids_) {
+      if (rules_->KeepSource(id)) {
+        AbortTransformation(
+            "non-blocking commit is not supported with source-reusing "
+            "transformations (old and new transactions would need "
+            "distinguishable lock origins on the same table)",
+            &stats);
+        return stats;
+      }
+    }
+  }
+
+  {
+    const Status st = db_->SetTransformHook(this);
+    if (!st.ok()) {
+      AbortTransformation("hook registration failed: " + st.ToString(), &stats);
+      return stats;
+    }
+    hook_registered_.store(true, std::memory_order_release);
+  }
+
+  // Step 2: initial population (§3.2). The fuzzy mark carries the active-
+  // transaction table; propagation starts at the oldest log record any of
+  // those transactions wrote. `guard` is read before the snapshot so a
+  // transaction beginning concurrently (and thus missing from the snapshot)
+  // still has all its records at LSN > guard covered.
+  const Lsn guard = db_->wal()->LastLsn();
+  const txn::ActiveSnapshot snap = db_->txns()->Snapshot();
+  {
+    wal::LogRecord mark;
+    mark.type = wal::LogRecordType::kFuzzyMark;
+    mark.active_txns = snap.txns;
+    mark.min_active_lsn = snap.min_first_lsn;
+    db_->wal()->Append(std::move(mark));
+  }
+  Lsn start_lsn = guard + 1;
+  if (snap.min_first_lsn != kInvalidLsn && snap.min_first_lsn < start_lsn) {
+    start_lsn = snap.min_first_lsn;
+  }
+
+  phase_.store(Phase::kPopulating, std::memory_order_release);
+  rules_->set_throttle(&priority_);
+  {
+    const auto t0 = Clock::Now();
+    const Status st = rules_->InitialPopulate();
+    stats.populate_micros = Clock::MicrosSince(t0);
+    if (!st.ok()) {
+      AbortTransformation("initial population failed: " + st.ToString(), &stats);
+      return stats;
+    }
+  }
+  {
+    // End-of-fuzzy-read mark, beginning the first propagation cycle (§3.3).
+    wal::LogRecord mark;
+    mark.type = wal::LogRecordType::kFuzzyMark;
+    const txn::ActiveSnapshot snap2 = db_->txns()->Snapshot();
+    mark.active_txns = snap2.txns;
+    mark.min_active_lsn = snap2.min_first_lsn;
+    db_->wal()->Append(std::move(mark));
+  }
+
+  // Step 3: log propagation iterations (§3.3).
+  phase_.store(Phase::kPropagating, std::memory_order_release);
+  next_lsn_ = start_lsn;
+  size_t lag_count = 0;
+  size_t last_backlog = std::numeric_limits<size_t>::max();
+  {
+    const auto t0 = Clock::Now();
+    while (true) {
+      if (abort_requested_.load(std::memory_order_acquire)) {
+        stats.propagate_micros = Clock::MicrosSince(t0);
+        AbortTransformation("abort requested", &stats);
+        return stats;
+      }
+      // The duration/iteration backstops guard a transformation that should
+      // be converging; a continuous (materialized-view) run is *meant* to
+      // live indefinitely, so only RequestAbort/RequestFinish end it.
+      if (!config_.continuous &&
+          Clock::MicrosSince(run_start) > config_.max_duration_micros) {
+        stats.propagate_micros = Clock::MicrosSince(t0);
+        AbortTransformation("transformation exceeded max duration", &stats);
+        return stats;
+      }
+      if (paused_.load(std::memory_order_acquire)) {
+        // Suspended by the DBA: no work, no lag analysis, stay responsive
+        // to abort requests.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        lag_count = 0;
+        last_backlog = std::numeric_limits<size_t>::max();
+        continue;
+      }
+      // Cap the slice so the end-of-iteration analysis below runs regularly
+      // even when a fast writer keeps extending the log. At a low duty cycle
+      // the same record count takes proportionally longer wall-time, so the
+      // cap scales with the priority — otherwise a 0.1%-duty iteration could
+      // run for many seconds and the lag detector would react far too late.
+      size_t iteration_cap = config_.max_records_per_iteration
+                                 ? config_.max_records_per_iteration
+                                 : config_.batch_size * 16;
+      iteration_cap = std::max(
+          config_.batch_size,
+          static_cast<size_t>(static_cast<double>(iteration_cap) *
+                              priority_.priority()));
+      Lsn end = db_->wal()->LastLsn();
+      if (end >= next_lsn_ && end - next_lsn_ + 1 > iteration_cap) {
+        end = next_lsn_ + iteration_cap - 1;
+      }
+      if (end >= next_lsn_) {
+        auto n = PropagateRange(next_lsn_, end, /*throttled=*/true);
+        if (!n.ok()) {
+          stats.propagate_micros = Clock::MicrosSince(t0);
+          AbortTransformation("propagation failed: " + n.status().ToString(),
+                              &stats);
+          return stats;
+        }
+        stats.log_records_processed += *n;
+      }
+      stats.iterations++;
+
+      if (config_.run_consistency_checker) {
+        auto cc = rules_->RunConsistencyCheck(config_.cc_batch);
+        if (!cc.ok()) {
+          stats.propagate_micros = Clock::MicrosSince(t0);
+          AbortTransformation("consistency check failed: " + cc.status().ToString(),
+                              &stats);
+          return stats;
+        }
+      }
+
+      const Lsn tail = db_->wal()->LastLsn();
+      const size_t backlog = tail >= next_lsn_ ? tail - next_lsn_ + 1 : 0;
+      const bool ready = rules_->ReadyForSync();
+      if (config_.continuous) {
+        // Materialized-view mode: maintain forever; only RequestFinish (or
+        // abort/lag/timeout above) leaves the loop.
+        if (finish_requested_.load(std::memory_order_acquire)) break;
+      } else if (backlog <= config_.sync_threshold && ready &&
+                 !sync_hold_.load(std::memory_order_acquire)) {
+        break;
+      }
+
+      // §3.3: if more log is produced than the propagator processes,
+      // synchronization never starts — abort or raise the priority.
+      if (backlog > config_.sync_threshold && backlog >= last_backlog) {
+        lag_count++;
+      } else {
+        lag_count = 0;
+      }
+      last_backlog = backlog;
+      if (lag_count >= config_.lag_iterations) {
+        if (config_.on_lag == OnLag::kBoostPriority &&
+            priority_.priority() < 1.0) {
+          priority_.set_priority(priority_.priority() * 2.0);
+          lag_count = 0;
+        } else {
+          stats.propagate_micros = Clock::MicrosSince(t0);
+          AbortTransformation("propagator cannot keep up with log generation",
+                              &stats);
+          return stats;
+        }
+      }
+      if (!config_.continuous && stats.iterations >= config_.max_iterations) {
+        stats.propagate_micros = Clock::MicrosSince(t0);
+        AbortTransformation("max propagation iterations reached", &stats);
+        return stats;
+      }
+      if (backlog == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    }
+    stats.propagate_micros = Clock::MicrosSince(t0);
+  }
+
+  // Continuous (materialized-view) mode: one final latched catch-up pass
+  // delivers an action-consistent view, then everything stays in place.
+  if (config_.continuous) {
+    phase_.store(Phase::kSynchronizing, std::memory_order_release);
+    {
+      std::vector<std::shared_ptr<storage::Table>> sources = rules_->Sources();
+      std::sort(sources.begin(), sources.end(),
+                [](const auto& a, const auto& b) { return a->id() < b->id(); });
+      const auto latch_start = Clock::Now();
+      std::vector<std::unique_lock<std::shared_mutex>> latches;
+      latches.reserve(sources.size());
+      for (const auto& src : sources) latches.emplace_back(src->latch());
+      const Lsn end = db_->wal()->LastLsn();
+      if (end >= next_lsn_) {
+        auto n = PropagateRange(next_lsn_, end, /*throttled=*/false);
+        if (!n.ok()) {
+          AbortTransformation("final catch-up failed: " + n.status().ToString(),
+                              &stats);
+          return stats;
+        }
+        stats.log_records_processed += *n;
+      }
+      stats.sync_latch_nanos = Clock::NanosSince(latch_start);
+      stats.sync_latch_micros = stats.sync_latch_nanos / 1000;
+    }
+    db_->ClearTransformHook();
+    hook_registered_.store(false, std::memory_order_release);
+    tlocks_.Clear();
+    phase_.store(Phase::kCompleted, std::memory_order_release);
+    stats.completed = true;
+    stats.final_priority = priority_.priority();
+    stats.ops_propagated = ops_propagated_.load(std::memory_order_relaxed);
+    stats.total_micros = Clock::MicrosSince(run_start);
+    return stats;
+  }
+
+  // Step 4: synchronization (§3.4).
+  phase_.store(Phase::kSynchronizing, std::memory_order_release);
+  {
+    const auto t0 = Clock::Now();
+    const Status st = SynchronizeAndSwitch(&stats);
+    stats.sync_micros = Clock::MicrosSince(t0);
+    if (!st.ok()) {
+      AbortTransformation("synchronization failed: " + st.ToString(), &stats);
+      return stats;
+    }
+  }
+
+  // Post-switch drain: finish propagating old transactions' records so
+  // their mirrored locks get released, then drop the sources.
+  {
+    const auto t0 = Clock::Now();
+    const Status st = Drain(&stats);
+    stats.drain_micros = Clock::MicrosSince(t0);
+    if (!st.ok()) {
+      // Too late to roll back the switch: report the failure but leave the
+      // (live) transformed tables in place.
+      db_->ClearTransformHook();
+      hook_registered_.store(false, std::memory_order_release);
+      tlocks_.Clear();
+      phase_.store(Phase::kAborted, std::memory_order_release);
+      stats.abort_reason = "drain failed: " + st.ToString();
+      stats.total_micros = Clock::MicrosSince(run_start);
+      return stats;
+    }
+  }
+
+  {
+    const Status st = rules_->FinalizeTargets();
+    if (!st.ok()) {
+      stats.abort_reason = "warning: finalization failed: " + st.ToString();
+    }
+  }
+  if (config_.drop_sources) {
+    for (const auto& src : rules_->Sources()) {
+      if (rules_->KeepSource(src->id())) continue;
+      const Status st = db_->DropTable(src->name());
+      if (!st.ok() && !st.IsNotFound()) {
+        // Non-fatal: the transformation itself is complete.
+        stats.abort_reason = "warning: dropping source failed: " + st.ToString();
+      }
+    }
+  }
+
+  db_->ClearTransformHook();
+  hook_registered_.store(false, std::memory_order_release);
+  tlocks_.Clear();
+  phase_.store(Phase::kCompleted, std::memory_order_release);
+  stats.completed = true;
+  stats.final_priority = priority_.priority();
+  stats.ops_propagated = ops_propagated_.load(std::memory_order_relaxed);
+  stats.total_micros = Clock::MicrosSince(run_start);
+  return stats;
+}
+
+Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
+  // Blocking commit only: gate new transactions off the involved tables and
+  // wait for transactions holding source-table locks to finish.
+  if (config_.strategy == SyncStrategy::kBlockingCommit) {
+    {
+      std::unique_lock lock(gate_mu_);
+      gate_on_ = true;
+      gate_epoch_ = db_->AdvanceEpoch();
+    }
+    const auto wait_start = Clock::Now();
+    while (true) {
+      // Keep propagating while waiting so the final pass stays short.
+      const Lsn end = db_->wal()->LastLsn();
+      if (end >= next_lsn_) {
+        auto n = PropagateRange(next_lsn_, end, /*throttled=*/false);
+        if (!n.ok()) return n.status();
+        stats->log_records_processed += *n;
+      }
+      bool source_locks_held = false;
+      for (const auto& t : db_->txns()->ActiveBefore(gate_epoch_)) {
+        for (const txn::RecordId& rid : db_->locks()->LocksOf(t->id())) {
+          if (IsSourceTable(rid.table)) {
+            source_locks_held = true;
+            break;
+          }
+        }
+        if (source_locks_held) break;
+      }
+      if (!source_locks_held) break;
+      if (Clock::MicrosSince(wait_start) > config_.max_duration_micros) {
+        std::unique_lock lock(gate_mu_);
+        gate_on_ = false;
+        gate_cv_.notify_all();
+        return Status::Aborted("old transactions did not release source locks");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  // The common core: latch the source tables exclusively (in id order), do
+  // one final propagation pass to the log end, and switch. The latch hold
+  // time is the user-visible pause the paper reports as < 1 ms.
+  std::vector<std::shared_ptr<storage::Table>> sources = rules_->Sources();
+  std::sort(sources.begin(), sources.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+  {
+    const auto latch_start = Clock::Now();
+    std::vector<std::unique_lock<std::shared_mutex>> latches;
+    latches.reserve(sources.size());
+    for (const auto& src : sources) latches.emplace_back(src->latch());
+
+    const Lsn end = db_->wal()->LastLsn();
+    if (end >= next_lsn_) {
+      auto n = PropagateRange(next_lsn_, end, /*throttled=*/false);
+      if (!n.ok()) return n.status();
+      stats->log_records_processed += *n;
+    }
+
+    const txn::TxnEpoch sw = db_->AdvanceEpoch();
+    // Count the transactions the non-blocking-abort strategy dooms: old
+    // transactions currently holding locks on the source tables.
+    if (config_.strategy == SyncStrategy::kNonBlockingAbort) {
+      for (const auto& t : db_->txns()->ActiveBefore(sw)) {
+        for (const txn::RecordId& rid : db_->locks()->LocksOf(t->id())) {
+          if (IsSourceTable(rid.table)) {
+            stats->txns_doomed++;
+            break;
+          }
+        }
+      }
+    }
+    switch_epoch_.store(sw, std::memory_order_release);
+    switched_.store(true, std::memory_order_release);
+    stats->sync_latch_nanos = Clock::NanosSince(latch_start);
+    stats->sync_latch_micros = stats->sync_latch_nanos / 1000;
+  }
+
+  if (config_.strategy == SyncStrategy::kBlockingCommit) {
+    std::unique_lock lock(gate_mu_);
+    gate_on_ = false;
+    gate_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status TransformCoordinator::Drain(TransformStats* stats) {
+  phase_.store(Phase::kDraining, std::memory_order_release);
+  const auto drain_start = Clock::Now();
+  const txn::TxnEpoch sw = switch_epoch_.load(std::memory_order_acquire);
+  while (true) {
+    const Lsn end = db_->wal()->LastLsn();
+    if (end >= next_lsn_) {
+      auto n = PropagateRange(next_lsn_, end, /*throttled=*/true);
+      if (!n.ok()) return n.status();
+      stats->log_records_processed += *n;
+      continue;
+    }
+    if (db_->txns()->ActiveBefore(sw).empty() && db_->wal()->LastLsn() < next_lsn_) {
+      return Status::OK();
+    }
+    if (Clock::MicrosSince(drain_start) > config_.max_duration_micros) {
+      return Status::Aborted(
+          "pre-switch transactions did not finish during drain");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void TransformCoordinator::AbortTransformation(const std::string& reason,
+                                               TransformStats* stats) {
+  if (hook_registered_.load(std::memory_order_acquire)) {
+    db_->ClearTransformHook();
+    hook_registered_.store(false, std::memory_order_release);
+  }
+  {
+    std::unique_lock lock(gate_mu_);
+    gate_on_ = false;
+  }
+  gate_cv_.notify_all();
+  tlocks_.Clear();
+  rules_->DropTargets();
+  phase_.store(Phase::kAborted, std::memory_order_release);
+  stats->completed = false;
+  stats->abort_reason = reason;
+  stats->ops_propagated = ops_propagated_.load(std::memory_order_relaxed);
+}
+
+// --- TransformHook -------------------------------------------------------------
+
+Status TransformCoordinator::OnOp(TxnId txn, txn::TxnEpoch epoch, TableId table,
+                                  txn::Access access, const Row& pk,
+                                  bool may_block) {
+  const bool is_source = IsSourceTable(table);
+  const bool is_target = IsTargetTable(table);
+  if (!is_source && !is_target) return Status::OK();
+
+  // Blocking-commit gate: park new transactions off the involved tables.
+  // Fast path: one atomic load when the gate is off (the common case — this
+  // runs twice per client operation for the whole transformation).
+  if (gate_on_.load(std::memory_order_acquire)) {
+    std::unique_lock lock(gate_mu_);
+    if (gate_on_.load(std::memory_order_relaxed) && epoch >= gate_epoch_) {
+      if (!may_block) {
+        return Status::Busy("schema transformation switch-over in progress");
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.max_duration_micros);
+      while (gate_on_.load(std::memory_order_relaxed) && epoch >= gate_epoch_) {
+        if (gate_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          return Status::Busy("timed out waiting for switch-over");
+        }
+      }
+    }
+  }
+
+  if (!switched_.load(std::memory_order_acquire)) {
+    if (is_target) {
+      if (config_.continuous && access == txn::Access::kRead) {
+        // A maintained materialized view is readable while it converges.
+        return Status::OK();
+      }
+      return Status::InvalidArgument(
+          "table is still being built by a schema transformation");
+    }
+    // Pre-switch source access flows freely; write locks are mirrored onto
+    // the transformed tables by the log propagator.
+    return Status::OK();
+  }
+
+  const txn::TxnEpoch sw = switch_epoch_.load(std::memory_order_acquire);
+  if (is_source) {
+    if (epoch >= sw) {
+      if (rules_->KeepSource(table)) {
+        // §5.2 alternative strategy: the source table is about to be
+        // renamed into the transformed R — new transactions access it under
+        // target-origin locks (Figure 2) like any transformed table.
+        return tlocks_.AcquireTarget(txn, txn::RecordId{table, pk}, access,
+                                     may_block);
+      }
+      return Status::Aborted(
+          "table was transformed; access the transformed tables instead");
+    }
+    switch (config_.strategy) {
+      case SyncStrategy::kBlockingCommit:
+      case SyncStrategy::kNonBlockingAbort:
+        // §3.4: transactions that were active on the source tables are
+        // forced to abort.
+        return Status::Aborted(
+            "transaction doomed by schema transformation switch-over");
+      case SyncStrategy::kNonBlockingCommit: {
+        // §4.3: the operation must first get the corresponding locks on the
+        // transformed-table records; "if a transaction cannot get a lock on
+        // all implicated records in all tables, it is not allowed to go
+        // forward with the operation."
+        const std::vector<txn::RecordId> rids =
+            rules_->AffectedTargets(table, pk);
+        for (const txn::RecordId& rid : rids) {
+          if (tlocks_.WouldBlockSource(rid, access, txn)) {
+            return Status::Busy(
+                "conflicting lock held on the transformed table");
+          }
+        }
+        const txn::LockOrigin origin = OriginOf(table);
+        for (const txn::RecordId& rid : rids) {
+          tlocks_.AddTransferred(txn, rid, origin, access);
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  // Post-switch access to a transformed table: acquire a target-origin lock
+  // under the Figure 2 matrix; it waits for transferred source locks to be
+  // released by the propagator.
+  return tlocks_.AcquireTarget(txn, txn::RecordId{table, pk}, access, may_block);
+}
+
+Status TransformCoordinator::OnCommit(TxnId txn, txn::TxnEpoch epoch) {
+  if (!switched_.load(std::memory_order_acquire)) return Status::OK();
+  if (epoch >= switch_epoch_.load(std::memory_order_acquire)) return Status::OK();
+  if (config_.strategy == SyncStrategy::kNonBlockingCommit) return Status::OK();
+  // Blocking commit / non-blocking abort: an old transaction still holding
+  // source-table locks at commit time must abort instead.
+  for (const txn::RecordId& rid : db_->locks()->LocksOf(txn)) {
+    if (IsSourceTable(rid.table)) {
+      return Status::Aborted(
+          "transaction doomed by schema transformation switch-over");
+    }
+  }
+  return Status::OK();
+}
+
+void TransformCoordinator::OnTxnFinished(TxnId txn, txn::TxnEpoch epoch) {
+  if (switched_.load(std::memory_order_acquire) &&
+      epoch >= switch_epoch_.load(std::memory_order_acquire)) {
+    // Post-switch transactions release their target locks directly; old
+    // transactions' transferred locks are released by the propagator when
+    // it processes their completion record (§3.4).
+    tlocks_.ReleaseTxn(txn);
+  }
+}
+
+}  // namespace morph::transform

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "common/row.h"
+#include "storage/table.h"
+
+namespace morph::transform {
+
+/// \brief Fuzzy-reads a table: no transactional locks are taken, so the
+/// result is a transactionally *inconsistent* snapshot — some effects of
+/// transactions running during the scan may be included, others not
+/// (paper §2.2). Physically each record is read atomically (shard mutex),
+/// so no torn rows appear.
+///
+/// The initial-population step joins/splits these snapshots; the log
+/// propagation rules then converge the result to the true table state.
+inline std::vector<Row> FuzzySnapshotRows(const storage::Table& table) {
+  std::vector<Row> rows;
+  rows.reserve(table.size());
+  table.FuzzyScan([&](const storage::Record& rec) { rows.push_back(rec.row); });
+  return rows;
+}
+
+/// \brief Like FuzzySnapshotRows but keeps the storage metadata (record
+/// LSNs, needed by the split transformation's initial population to seed
+/// the R- and S-side state identifiers, paper §5.2).
+inline std::vector<storage::Record> FuzzySnapshotRecords(
+    const storage::Table& table) {
+  std::vector<storage::Record> records;
+  records.reserve(table.size());
+  table.FuzzyScan(
+      [&](const storage::Record& rec) { records.push_back(rec); });
+  return records;
+}
+
+}  // namespace morph::transform

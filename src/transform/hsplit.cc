@@ -1,0 +1,174 @@
+#include "transform/hsplit.h"
+
+#include "common/clock.h"
+
+namespace morph::transform {
+
+Result<std::unique_ptr<HorizontalSplitRules>> HorizontalSplitRules::Make(
+    engine::Database* db, HorizontalSplitSpec spec) {
+  auto t = db->catalog()->GetByName(spec.t_table);
+  if (t == nullptr) return Status::NotFound("no table named " + spec.t_table);
+  auto col = t->schema().IndexOf(spec.predicate.column);
+  if (!col) {
+    return Status::InvalidArgument("no column " + spec.predicate.column +
+                                   " in " + spec.t_table);
+  }
+  return std::unique_ptr<HorizontalSplitRules>(
+      new HorizontalSplitRules(db, std::move(spec), std::move(t), *col));
+}
+
+Status HorizontalSplitRules::Prepare() {
+  MORPH_ASSIGN_OR_RETURN(r_, db_->CreateTable(spec_.r_name, t_src_->schema()));
+  MORPH_ASSIGN_OR_RETURN(s_, db_->CreateTable(spec_.s_name, t_src_->schema()));
+  return Status::OK();
+}
+
+Status HorizontalSplitRules::InitialPopulate() {
+  constexpr size_t kThrottleBatch = 256;
+  size_t scanned = 0;
+  auto batch_start = Clock::Now();
+  Status status;
+  t_src_->FuzzyScan([&](const storage::Record& rec) {
+    if (!status.ok()) return;
+    if (++scanned % kThrottleBatch == 0) {
+      Throttle(Clock::NanosSince(batch_start));
+      batch_start = Clock::Now();
+    }
+    storage::Record copy;
+    copy.row = rec.row;
+    copy.lsn = rec.lsn;
+    const Status st = Route(rec.row)->Insert(std::move(copy));
+    if (!st.ok() && !st.IsAlreadyExists()) status = st;
+  });
+  return status;
+}
+
+Status HorizontalSplitRules::Apply(const Op& op,
+                                   std::vector<txn::RecordId>* affected) {
+  if (op.table_id != t_src_->id()) {
+    return Status::Internal("op on a table that is not the split source");
+  }
+
+  // Current copy of the key, if any: check both sides (fuzzy anomalies can
+  // transiently duplicate a key across them; the newer copy is the truth).
+  storage::Table* holder = nullptr;
+  storage::Record current;
+  for (storage::Table* side : {r_.get(), s_.get()}) {
+    auto rec = side->Get(op.key);
+    if (rec.ok() && (holder == nullptr || rec->lsn > current.lsn)) {
+      holder = side;
+      current = *rec;
+    }
+  }
+  auto note = [&](storage::Table* side) {
+    if (affected != nullptr) affected->push_back({side->id(), op.key});
+  };
+
+  /// Removes stale copies (LSN below the op) from `except`'s sibling — and
+  /// from `except` itself when `also_holder` is set.
+  auto clean = [&](storage::Table* keep) -> Status {
+    for (storage::Table* side : {r_.get(), s_.get()}) {
+      if (side == keep) continue;
+      auto rec = side->Get(op.key);
+      if (rec.ok() && rec->lsn < op.lsn) {
+        note(side);
+        const Status st = side->Delete(op.key);
+        if (!st.ok() && !st.IsNotFound()) return st;
+      }
+    }
+    return Status::OK();
+  };
+
+  switch (op.type) {
+    case OpType::kInsert: {
+      storage::Table* dest = Route(op.after);
+      note(dest);
+      if (holder != nullptr && current.lsn >= op.lsn) {
+        counters_.ops_ignored++;
+        return Status::OK();
+      }
+      MORPH_RETURN_NOT_OK(clean(dest));
+      storage::Record rec;
+      rec.row = op.after;
+      rec.lsn = op.lsn;
+      Status st = dest->Insert(std::move(rec));
+      if (st.IsAlreadyExists()) {
+        st = dest->Mutate(op.key, [&](storage::Record* cur) {
+          if (cur->lsn >= op.lsn) return false;
+          cur->row = op.after;
+          cur->lsn = op.lsn;
+          return true;
+        });
+      }
+      counters_.ops_applied++;
+      return st;
+    }
+    case OpType::kDelete: {
+      if (holder == nullptr || current.lsn >= op.lsn) {
+        counters_.ops_ignored++;
+        return Status::OK();
+      }
+      counters_.ops_applied++;
+      return clean(nullptr);
+    }
+    case OpType::kUpdate: {
+      if (holder == nullptr || current.lsn >= op.lsn) {
+        counters_.ops_ignored++;
+        return Status::OK();
+      }
+      counters_.ops_applied++;
+      Row new_row = current.row;
+      for (size_t i = 0; i < op.updated_columns.size(); ++i) {
+        new_row[op.updated_columns[i]] = op.after_values[i];
+      }
+      storage::Table* dest = Route(new_row);
+      if (dest == holder) {
+        note(dest);
+        MORPH_RETURN_NOT_OK(clean(dest));
+        return dest->Mutate(op.key, [&](storage::Record* cur) {
+          if (cur->lsn >= op.lsn) return false;
+          cur->row = std::move(new_row);
+          cur->lsn = op.lsn;
+          return true;
+        });
+      }
+      // The update flips the predicate: migrate across targets.
+      counters_.migrations++;
+      note(holder);
+      note(dest);
+      MORPH_RETURN_NOT_OK(clean(dest));
+      storage::Record rec;
+      rec.row = new_row;
+      rec.lsn = op.lsn;
+      Status st = dest->Insert(std::move(rec));
+      if (st.IsAlreadyExists()) {
+        st = dest->Mutate(op.key, [&](storage::Record* cur) {
+          if (cur->lsn >= op.lsn) return false;
+          cur->row = new_row;
+          cur->lsn = op.lsn;
+          return true;
+        });
+      }
+      return st;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::vector<txn::RecordId> HorizontalSplitRules::AffectedTargets(
+    TableId table, const Row& pk) {
+  if (table != t_src_->id()) return {};
+  // The record may live on (or move to) either side; mirror the lock onto
+  // both so post-switch transactions cannot slip between them.
+  return {txn::RecordId{r_->id(), pk}, txn::RecordId{s_->id(), pk}};
+}
+
+Status HorizontalSplitRules::DropTargets() {
+  Status st = db_->DropTable(spec_.r_name);
+  if (!st.ok() && !st.IsNotFound()) return st;
+  st = db_->DropTable(spec_.s_name);
+  if (!st.ok() && !st.IsNotFound()) return st;
+  return Status::OK();
+}
+
+}  // namespace morph::transform

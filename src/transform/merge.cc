@@ -1,0 +1,152 @@
+#include "transform/merge.h"
+
+#include "common/clock.h"
+
+namespace morph::transform {
+
+namespace {
+
+/// Structural schema equality (names, types, nullability, key positions).
+bool SchemasMatch(const Schema& a, const Schema& b) {
+  if (a.num_columns() != b.num_columns()) return false;
+  if (a.key_indices() != b.key_indices()) return false;
+  for (size_t i = 0; i < a.num_columns(); ++i) {
+    if (a.column(i).name != b.column(i).name ||
+        a.column(i).type != b.column(i).type ||
+        a.column(i).nullable != b.column(i).nullable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MergeRules>> MergeRules::Make(engine::Database* db,
+                                                     MergeSpec spec) {
+  auto r = db->catalog()->GetByName(spec.r_table);
+  if (r == nullptr) return Status::NotFound("no table named " + spec.r_table);
+  auto s = db->catalog()->GetByName(spec.s_table);
+  if (s == nullptr) return Status::NotFound("no table named " + spec.s_table);
+  if (!SchemasMatch(r->schema(), s->schema())) {
+    return Status::InvalidArgument(
+        "merge requires identical schemas: " + r->schema().ToString() +
+        " vs " + s->schema().ToString());
+  }
+  return std::unique_ptr<MergeRules>(
+      new MergeRules(db, std::move(spec), std::move(r), std::move(s)));
+}
+
+Status MergeRules::Prepare() {
+  MORPH_ASSIGN_OR_RETURN(t_,
+                         db_->CreateTable(spec_.target_table, r_->schema()));
+  return Status::OK();
+}
+
+Status MergeRules::InitialPopulate() {
+  // Fuzzy-copy both sources; on a (transient) duplicate key, the copy with
+  // the higher LSN wins — the same newest-contributor seeding the split
+  // uses, making the LSN gates of the propagation rules sound.
+  constexpr size_t kThrottleBatch = 256;
+  for (const auto& src : {r_, s_}) {
+    size_t scanned = 0;
+    auto batch_start = Clock::Now();
+    Status status;
+    src->FuzzyScan([&](const storage::Record& rec) {
+      if (!status.ok()) return;
+      if (++scanned % kThrottleBatch == 0) {
+        Throttle(Clock::NanosSince(batch_start));
+        batch_start = Clock::Now();
+      }
+      storage::Record copy;
+      copy.row = rec.row;
+      copy.lsn = rec.lsn;
+      Status st = t_->Insert(std::move(copy));
+      if (st.IsAlreadyExists()) {
+        st = t_->Mutate(t_->schema().KeyOf(rec.row), [&](storage::Record* cur) {
+          if (cur->lsn >= rec.lsn) return false;
+          cur->row = rec.row;
+          cur->lsn = rec.lsn;
+          return true;
+        });
+      }
+      if (!st.ok()) status = st;
+    });
+    MORPH_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+Status MergeRules::Apply(const Op& op, std::vector<txn::RecordId>* affected) {
+  if (!IsSource(op.table_id)) {
+    return Status::Internal("op on a table that is not a merge source");
+  }
+  if (affected != nullptr) affected->push_back({t_->id(), op.key});
+  switch (op.type) {
+    case OpType::kInsert: {
+      storage::Record rec;
+      rec.row = op.after;
+      rec.lsn = op.lsn;
+      Status st = t_->Insert(std::move(rec));
+      if (st.IsAlreadyExists()) {
+        // Either already reflected, or a newer image is present (Theorem-1
+        // via the LSN): only an older copy is overwritten.
+        st = t_->Mutate(op.key, [&](storage::Record* cur) {
+          if (cur->lsn >= op.lsn) return false;
+          cur->row = op.after;
+          cur->lsn = op.lsn;
+          return true;
+        });
+        counters_.ops_ignored++;
+        return st;
+      }
+      counters_.ops_applied++;
+      return st;
+    }
+    case OpType::kDelete: {
+      auto cur = t_->Get(op.key);
+      if (!cur.ok() || cur->lsn >= op.lsn) {
+        counters_.ops_ignored++;
+        return Status::OK();
+      }
+      counters_.ops_applied++;
+      const Status st = t_->Delete(op.key);
+      if (st.IsNotFound()) return Status::OK();
+      return st;
+    }
+    case OpType::kUpdate: {
+      bool applied = false;
+      const Status st = t_->Mutate(op.key, [&](storage::Record* cur) {
+        if (cur->lsn >= op.lsn) return false;
+        for (size_t i = 0; i < op.updated_columns.size(); ++i) {
+          cur->row[op.updated_columns[i]] = op.after_values[i];
+        }
+        cur->lsn = op.lsn;
+        applied = true;
+        return true;
+      });
+      if (applied) {
+        counters_.ops_applied++;
+      } else {
+        counters_.ops_ignored++;
+      }
+      if (st.IsNotFound()) return Status::OK();
+      return st;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::vector<txn::RecordId> MergeRules::AffectedTargets(TableId table,
+                                                       const Row& pk) {
+  if (!IsSource(table)) return {};
+  return {txn::RecordId{t_->id(), pk}};
+}
+
+Status MergeRules::DropTargets() {
+  const Status st = db_->DropTable(spec_.target_table);
+  if (st.IsNotFound()) return Status::OK();
+  return st;
+}
+
+}  // namespace morph::transform

@@ -1,0 +1,62 @@
+#include "transform/op.h"
+
+namespace morph::transform {
+
+std::optional<Op> Op::FromLogRecord(const wal::LogRecord& rec) {
+  Op op;
+  op.lsn = rec.lsn;
+  op.txn_id = rec.txn_id;
+  op.table_id = rec.table_id;
+  op.key = rec.key;
+  switch (rec.type) {
+    case wal::LogRecordType::kInsert:
+      op.type = OpType::kInsert;
+      op.after = rec.after;
+      return op;
+    case wal::LogRecordType::kDelete:
+      op.type = OpType::kDelete;
+      op.before = rec.before;
+      return op;
+    case wal::LogRecordType::kUpdate:
+      op.type = OpType::kUpdate;
+      op.updated_columns = rec.updated_columns;
+      op.before_values = rec.before_values;
+      op.after_values = rec.after_values;
+      return op;
+    case wal::LogRecordType::kClr:
+      switch (rec.clr_action) {
+        case wal::ClrAction::kUndoInsert:
+          op.type = OpType::kDelete;
+          op.before = rec.before;
+          return op;
+        case wal::ClrAction::kUndoDelete:
+          op.type = OpType::kInsert;
+          op.after = rec.after;
+          return op;
+        case wal::ClrAction::kUndoUpdate:
+          // The CLR's images were swapped at creation: its after_values are
+          // the values being restored.
+          op.type = OpType::kUpdate;
+          op.updated_columns = rec.updated_columns;
+          op.before_values = rec.before_values;
+          op.after_values = rec.after_values;
+          return op;
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool Op::UpdatesColumn(size_t column, Value* before_out, Value* after_out) const {
+  for (size_t i = 0; i < updated_columns.size(); ++i) {
+    if (updated_columns[i] == column) {
+      if (before_out != nullptr) *before_out = before_values[i];
+      if (after_out != nullptr) *after_out = after_values[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace morph::transform

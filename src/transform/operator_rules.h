@@ -1,0 +1,117 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "transform/op.h"
+#include "transform/priority.h"
+#include "txn/lock_manager.h"
+#include "wal/log_record.h"
+
+namespace morph::transform {
+
+/// \brief The operator-specific half of a transformation, plugged into the
+/// generic four-step TransformCoordinator (paper §3).
+///
+/// Implementations: FojRules (paper §4, one-to-many and many-to-many) and
+/// SplitRules (paper §5, with counters and C/U consistency flags).
+///
+/// Threading contract: Prepare / InitialPopulate / Apply are called from the
+/// single coordinator thread. AffectedTargets may additionally be called
+/// from client threads (synchronous lock mirroring under non-blocking
+/// commit) and must only use thread-safe table/index reads.
+class OperatorRules {
+ public:
+  virtual ~OperatorRules() = default;
+
+  /// \brief True if `id` is one of the transformation's source tables
+  /// (whose log records must be propagated).
+  virtual bool IsSource(TableId id) const = 0;
+
+  /// \brief Preparation step: create the transformed table(s) and their
+  /// indexes (paper §3.1).
+  virtual Status Prepare() = 0;
+
+  /// \brief Initial population step: fuzzy-read the source tables, apply
+  /// the operator, insert the initial image into the transformed tables
+  /// (paper §3.2). Called after the coordinator wrote the begin-fuzzy mark.
+  virtual Status InitialPopulate() = 0;
+
+  /// \brief Applies one normalized source-table operation to the
+  /// transformed tables using the operator's propagation rules. Must be
+  /// idempotent in the Theorem-1 sense: ops already reflected are ignored.
+  ///
+  /// If `affected` is non-null, the rule appends the RecordIds of every
+  /// transformed-table record it touched (or found already reflecting the
+  /// op) — the coordinator mirrors source locks onto exactly these.
+  virtual Status Apply(const Op& op, std::vector<txn::RecordId>* affected) = 0;
+
+  /// \brief Handles a non-data log record the coordinator does not consume
+  /// itself (the split rules use this for the CC_BEGIN / CC_OK brackets).
+  /// Default: ignore.
+  virtual Status OnControlRecord(const wal::LogRecord& rec) {
+    (void)rec;
+    return Status::OK();
+  }
+
+  /// \brief Transformed-table records *currently* corresponding to the
+  /// source record (table, pk) — for synchronous lock mirroring before an
+  /// old transaction's operation proceeds (non-blocking commit, §4.3).
+  virtual std::vector<txn::RecordId> AffectedTargets(TableId table,
+                                                     const Row& pk) = 0;
+
+  /// \brief The transformed tables, for switch-over bookkeeping.
+  virtual std::vector<std::shared_ptr<storage::Table>> Targets() const = 0;
+
+  /// \brief The source tables, for latching and dropping.
+  virtual std::vector<std::shared_ptr<storage::Table>> Sources() const = 0;
+
+  /// \brief True when the operator has unresolved internal work that must
+  /// finish before synchronization may start (the split's U-flagged
+  /// records, paper §5.3: "all records in S should have a C-flag before
+  /// synchronization is started"). Default: ready.
+  virtual bool ReadyForSync() const { return true; }
+
+  /// \brief One pass of operator-internal background maintenance, invoked
+  /// between propagation iterations when the coordinator is configured with
+  /// run_consistency_checker. The split rules implement the §5.3
+  /// consistency checker here; other operators have nothing to do.
+  virtual Result<size_t> RunConsistencyCheck(size_t max_records) {
+    (void)max_records;
+    return size_t{0};
+  }
+
+  /// \brief Deletes the transformed tables (transformation abort: "log
+  /// propagation is stopped, and the transformed tables are deleted", §6).
+  virtual Status DropTargets() = 0;
+
+  /// \brief Completion-time finalization, before the coordinator drops the
+  /// sources: operators that repurpose a source table (the split's §5.2
+  /// alternative strategy renames T into R) do it here. Default: nothing.
+  virtual Status FinalizeTargets() { return Status::OK(); }
+
+  /// \brief True if `id` is a source table the coordinator must *not* drop
+  /// at completion (because FinalizeTargets repurposed it). Default: drop.
+  virtual bool KeepSource(TableId id) const {
+    (void)id;
+    return false;
+  }
+
+  /// \brief Installs the coordinator's priority controller so the bulky
+  /// operator-internal work (initial population, CC scans) also runs at the
+  /// transformation's background duty cycle. May be nullptr (no throttle).
+  void set_throttle(PriorityController* throttle) { throttle_ = throttle; }
+
+ protected:
+  /// Pays the duty-cycle cost of `work_nanos` of internal work.
+  void Throttle(int64_t work_nanos) {
+    if (throttle_ != nullptr) throttle_->OnWorkDone(work_nanos);
+  }
+
+ private:
+  PriorityController* throttle_ = nullptr;
+};
+
+}  // namespace morph::transform

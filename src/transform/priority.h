@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace morph::transform {
+
+/// \brief Duty-cycle throttle making the transformation a tunable
+/// low-priority background process.
+///
+/// The paper runs its reorganizer at an adjustable priority and shows
+/// (Figure 4d) the interference/completion-time trade-off, including a
+/// priority floor below which propagation never catches up with log
+/// generation. The engine is a single process, so "priority" is modelled as
+/// a duty cycle: after each slice of propagation work taking `w` µs, the
+/// propagator sleeps `w * (1 - p) / p` µs, giving it a fraction `p` of
+/// wall-clock time. Sleeps are capped so a priority change takes effect
+/// quickly.
+class PriorityController {
+ public:
+  explicit PriorityController(double priority = 1.0) { set_priority(priority); }
+
+  /// \brief Sets the duty cycle, clamped to [0.001, 1.0].
+  void set_priority(double p) {
+    priority_.store(std::clamp(p, 0.001, 1.0), std::memory_order_relaxed);
+  }
+
+  double priority() const { return priority_.load(std::memory_order_relaxed); }
+
+  /// \brief Reports a completed work slice of `work_nanos`; sleeps to
+  /// maintain the duty cycle.
+  ///
+  /// Work slices can be sub-microsecond (a batch of log records against an
+  /// in-memory table), so the owed sleep is accumulated as a debt and paid
+  /// once it reaches a schedulable quantum — a naive per-slice sleep would
+  /// round down to zero and silently run at full priority.
+  void OnWorkDone(int64_t work_nanos) {
+    const double p = priority();
+    if (p >= 1.0 || work_nanos <= 0) return;
+    sleep_debt_nanos_ += static_cast<double>(work_nanos) * (1.0 - p) / p;
+    constexpr double kMinSleepNanos = 100'000.0;      // 100 µs quantum
+    constexpr double kMaxSleepNanos = 50'000'000.0;   // stay responsive
+    if (sleep_debt_nanos_ < kMinSleepNanos) return;
+    const double chunk = std::min(sleep_debt_nanos_, kMaxSleepNanos);
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(static_cast<int64_t>(chunk)));
+    sleep_debt_nanos_ -= chunk;
+  }
+
+ private:
+  std::atomic<double> priority_{1.0};
+  /// Owed-but-unpaid sleep; only touched by the propagator thread.
+  double sleep_debt_nanos_ = 0;
+};
+
+}  // namespace morph::transform

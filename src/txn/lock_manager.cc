@@ -1,0 +1,172 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace morph::txn {
+
+bool LockModesCompatible(LockMode a, LockMode b) {
+  // The classic multigranularity matrix (IS/IX/S/X; no SIX).
+  switch (a) {
+    case LockMode::kIntentionShared:
+      return b != LockMode::kExclusive;
+    case LockMode::kIntentionExclusive:
+      return b == LockMode::kIntentionShared ||
+             b == LockMode::kIntentionExclusive;
+    case LockMode::kShared:
+      return b == LockMode::kIntentionShared || b == LockMode::kShared;
+    case LockMode::kExclusive:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// True if holding `held` already satisfies a request for `req`.
+bool Covers(LockMode held, LockMode req) {
+  if (held == req) return true;
+  if (held == LockMode::kExclusive) return true;
+  if (req == LockMode::kIntentionShared) {
+    return held == LockMode::kShared || held == LockMode::kIntentionExclusive;
+  }
+  return false;
+}
+
+/// Least upper bound used for upgrades (no SIX mode: S+IX escalates to X).
+LockMode Lub(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kExclusive || b == LockMode::kExclusive) {
+    return LockMode::kExclusive;
+  }
+  const bool has_s = a == LockMode::kShared || b == LockMode::kShared;
+  const bool has_ix =
+      a == LockMode::kIntentionExclusive || b == LockMode::kIntentionExclusive;
+  if (has_s && has_ix) return LockMode::kExclusive;
+  if (has_s) return LockMode::kShared;
+  if (has_ix) return LockMode::kIntentionExclusive;
+  return LockMode::kIntentionShared;
+}
+
+}  // namespace
+
+bool LockManager::Conflicts(const LockQueue& q, TxnId txn, LockMode mode) {
+  for (const Holder& h : q.holders) {
+    if (h.txn == txn) continue;
+    if (!LockModesCompatible(mode, h.mode)) return true;
+  }
+  return false;
+}
+
+bool LockManager::ShouldDie(const LockQueue& q, TxnId txn, LockMode mode) {
+  for (const Holder& h : q.holders) {
+    if (h.txn == txn) continue;
+    if (!LockModesCompatible(mode, h.mode) && h.txn < txn) {
+      return true;  // holder is older: requester dies
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, const RecordId& rid, LockMode mode) {
+  std::unique_lock lock(mu_);
+  LockQueue& q = table_[rid];
+
+  // Re-entrant fast path + immediate upgrade attempt.
+  for (Holder& h : q.holders) {
+    if (h.txn != txn) continue;
+    if (Covers(h.mode, mode)) return Status::OK();
+    const LockMode target = Lub(h.mode, mode);
+    if (!Conflicts(q, txn, target)) {
+      h.mode = target;
+      return Status::OK();
+    }
+    if (ShouldDie(q, txn, target)) {
+      return Status::Deadlock("wait-die: upgrade on " + rid.ToString());
+    }
+    // Fall through to the wait loop; the held entry keeps its current mode
+    // until the upgrade is granted.
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(wait_timeout_micros_);
+  bool first_attempt = true;
+  while (true) {
+    LockQueue& queue = table_[rid];
+    // Re-derive the grant target (an upgrade if this txn already holds).
+    LockMode target = mode;
+    Holder* mine = nullptr;
+    for (Holder& h : queue.holders) {
+      if (h.txn == txn) {
+        mine = &h;
+        target = Lub(h.mode, mode);
+        break;
+      }
+    }
+    if (!Conflicts(queue, txn, target)) {
+      if (mine != nullptr) {
+        mine->mode = target;
+      } else {
+        queue.holders.push_back({txn, target});
+        held_[txn].push_back(rid);
+      }
+      return Status::OK();
+    }
+    if (ShouldDie(queue, txn, target)) {
+      return Status::Deadlock("wait-die: lock on " + rid.ToString());
+    }
+    if (!first_attempt && std::chrono::steady_clock::now() >= deadline) {
+      return Status::Busy("lock wait timeout on " + rid.ToString());
+    }
+    first_attempt = false;
+    queue.waiters++;
+    cv_.wait_until(lock, deadline);
+    // `table_` may have rehashed while unlocked; re-lookup on next loop.
+    auto it = table_.find(rid);
+    if (it != table_.end()) it->second.waiters--;
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::unique_lock lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const RecordId& rid : it->second) {
+    auto qit = table_.find(rid);
+    if (qit == table_.end()) continue;
+    LockQueue& q = qit->second;
+    q.holders.erase(std::remove_if(q.holders.begin(), q.holders.end(),
+                                   [&](const Holder& h) { return h.txn == txn; }),
+                    q.holders.end());
+    if (q.holders.empty() && q.waiters == 0) table_.erase(qit);
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, const RecordId& rid, LockMode mode) const {
+  std::unique_lock lock(mu_);
+  auto it = table_.find(rid);
+  if (it == table_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn != txn) continue;
+    return Covers(h.mode, mode);
+  }
+  return false;
+}
+
+std::vector<RecordId> LockManager::LocksOf(TxnId txn) const {
+  std::unique_lock lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return {};
+  return it->second;
+}
+
+size_t LockManager::num_locks() const {
+  std::unique_lock lock(mu_);
+  size_t n = 0;
+  for (const auto& [rid, q] : table_) n += q.holders.size();
+  return n;
+}
+
+}  // namespace morph::txn

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace morph::txn {
+
+/// \brief Lifecycle states of a transaction.
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kAborting = 1,   ///< ABORT logged; undo (CLR) pass in progress
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+std::string_view TxnStateToString(TxnState state);
+
+/// \brief Epoch counter type stamped on transactions at Begin.
+///
+/// The engine keeps a global epoch that a schema transformation advances at
+/// its control points (drain start for blocking-commit, switch-over for the
+/// non-blocking strategies). Comparing a transaction's epoch against those
+/// recorded values tells the transformation hook whether the transaction is
+/// an "old" transaction (started against the source tables) or a "new" one
+/// (to be routed to the transformed tables). Under non-blocking *abort*,
+/// old transactions are forced to abort at switch-over; under non-blocking
+/// *commit* they continue and their locks keep being mirrored into the
+/// transformed tables until they finish (paper §3.4).
+using TxnEpoch = uint64_t;
+
+/// \brief Per-transaction bookkeeping.
+///
+/// A Transaction is driven by a single client thread; the fields the
+/// transformation framework reads concurrently (state, last_lsn) are atomic.
+class Transaction {
+ public:
+  Transaction(TxnId id, Lsn begin_lsn)
+      : id_(id), first_lsn_(begin_lsn), last_lsn_(begin_lsn) {}
+
+  TxnId id() const { return id_; }
+
+  TxnState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(TxnState s) { state_.store(s, std::memory_order_release); }
+
+  /// LSN of this transaction's BEGIN record: the oldest log record the
+  /// fuzzy-mark "oldest active" computation can attribute to it.
+  Lsn first_lsn() const { return first_lsn_; }
+
+  /// Head of the undo chain (most recent log record of this transaction).
+  Lsn last_lsn() const { return last_lsn_.load(std::memory_order_acquire); }
+  void set_last_lsn(Lsn lsn) { last_lsn_.store(lsn, std::memory_order_release); }
+
+  TxnEpoch epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void set_epoch(TxnEpoch e) { epoch_.store(e, std::memory_order_release); }
+
+  bool finished() const {
+    const TxnState s = state();
+    return s == TxnState::kCommitted || s == TxnState::kAborted;
+  }
+
+ private:
+  const TxnId id_;
+  const Lsn first_lsn_;
+  std::atomic<TxnState> state_{TxnState::kActive};
+  std::atomic<Lsn> last_lsn_;
+  std::atomic<TxnEpoch> epoch_{0};
+};
+
+}  // namespace morph::txn

@@ -1,0 +1,113 @@
+#include "txn/transform_locks.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace morph::txn {
+
+bool TransformLockTable::Compatible(LockOrigin o1, Access a1, LockOrigin o2,
+                                    Access a2) {
+  const bool s1 = o1 != LockOrigin::kTarget;
+  const bool s2 = o2 != LockOrigin::kTarget;
+  // Source-origin locks never conflict with each other: the real conflict
+  // (if any) is enforced by the ordinary lock manager on the source tables,
+  // and operations on R and S touch disjoint attributes of T (Figure 2).
+  if (s1 && s2) return true;
+  // Target writes conflict with everything.
+  if (a1 == Access::kWrite && o1 == LockOrigin::kTarget) return false;
+  if (a2 == Access::kWrite && o2 == LockOrigin::kTarget) return false;
+  // Here exactly one side is target-origin and it is a read (or both target
+  // reads). A target read is compatible with reads, conflicts with writes.
+  return a1 == Access::kRead && a2 == Access::kRead;
+}
+
+bool TransformLockTable::ConflictsLocked(const RecordId& rid, TxnId self,
+                                         LockOrigin origin, Access access) const {
+  auto it = table_.find(rid);
+  if (it == table_.end()) return false;
+  for (const Entry& e : it->second) {
+    if (e.txn == self) continue;
+    if (!Compatible(origin, access, e.origin, e.access)) return true;
+  }
+  return false;
+}
+
+void TransformLockTable::AddTransferred(TxnId txn, const RecordId& rid,
+                                        LockOrigin origin, Access access) {
+  std::unique_lock lock(mu_);
+  auto& entries = table_[rid];
+  for (const Entry& e : entries) {
+    if (e.txn == txn && e.origin == origin && e.access == access) return;
+  }
+  entries.push_back({txn, origin, access});
+  held_[txn].push_back(rid);
+}
+
+Status TransformLockTable::AcquireTarget(TxnId txn, const RecordId& rid,
+                                         Access access, bool wait) {
+  std::unique_lock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(wait_timeout_micros_);
+  while (ConflictsLocked(rid, txn, LockOrigin::kTarget, access)) {
+    if (!wait) {
+      return Status::Busy("transform lock conflict on " + rid.ToString());
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Busy("transform lock wait timeout on " + rid.ToString());
+    }
+  }
+  auto& entries = table_[rid];
+  for (const Entry& e : entries) {
+    if (e.txn == txn && e.origin == LockOrigin::kTarget && e.access == access) {
+      return Status::OK();
+    }
+  }
+  entries.push_back({txn, LockOrigin::kTarget, access});
+  held_[txn].push_back(rid);
+  return Status::OK();
+}
+
+bool TransformLockTable::WouldBlockTarget(const RecordId& rid, Access access,
+                                          TxnId self) const {
+  std::unique_lock lock(mu_);
+  return ConflictsLocked(rid, self, LockOrigin::kTarget, access);
+}
+
+bool TransformLockTable::WouldBlockSource(const RecordId& rid, Access access,
+                                          TxnId self) const {
+  std::unique_lock lock(mu_);
+  return ConflictsLocked(rid, self, LockOrigin::kSource0, access);
+}
+
+void TransformLockTable::ReleaseTxn(TxnId txn) {
+  std::unique_lock lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const RecordId& rid : it->second) {
+    auto qit = table_.find(rid);
+    if (qit == table_.end()) continue;
+    auto& entries = qit->second;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) { return e.txn == txn; }),
+                  entries.end());
+    if (entries.empty()) table_.erase(qit);
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+size_t TransformLockTable::num_locks() const {
+  std::unique_lock lock(mu_);
+  size_t n = 0;
+  for (const auto& [rid, entries] : table_) n += entries.size();
+  return n;
+}
+
+void TransformLockTable::Clear() {
+  std::unique_lock lock(mu_);
+  table_.clear();
+  held_.clear();
+  cv_.notify_all();
+}
+
+}  // namespace morph::txn

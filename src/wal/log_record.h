@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "common/types.h"
+
+namespace morph::wal {
+
+/// \brief Log record kinds.
+///
+/// The engine writes ARIES-style physiological records: redo+undo images for
+/// data operations, CLRs during rollback. The transformation framework adds
+/// FUZZY_MARK (carrying the active-transaction table, paper §3.2) and the
+/// consistency-checker bracket records CC_BEGIN / CC_OK (paper §5.3).
+enum class LogRecordType : uint8_t {
+  kBegin = 0,
+  kCommit = 1,
+  kAbort = 2,       ///< transaction has started rolling back
+  kTxnEnd = 3,      ///< rollback complete (or commit fully processed)
+  kInsert = 4,
+  kDelete = 5,
+  kUpdate = 6,
+  kClr = 7,         ///< compensating log record written during undo
+  kFuzzyMark = 8,   ///< begin/end-fuzzy bracket with active txn ids
+  kCcBegin = 9,     ///< "Begin CC on v"
+  kCcOk = 10,       ///< "CC: v is ok", carries the correct S-record image
+};
+
+std::string_view LogRecordTypeToString(LogRecordType type);
+
+/// \brief What a CLR compensates — the inverse operation that was applied.
+enum class ClrAction : uint8_t {
+  kUndoInsert = 0,  ///< applied as a delete
+  kUndoDelete = 1,  ///< applied as an insert
+  kUndoUpdate = 2,  ///< applied as an update back to the before-image
+};
+
+/// \brief One write-ahead-log record.
+///
+/// Field usage by type:
+///  - kInsert: table_id, key, after (full new image)
+///  - kDelete: table_id, key, before (full old image; redo/propagation only
+///    needs the key — paper §4.2 — but undo needs the image)
+///  - kUpdate: table_id, key, updated_columns + before_values/after_values.
+///    Deliberately *partial*: the paper's propagation rules 5/6/11 must
+///    reconstruct unlogged attributes from the transformed table.
+///  - kClr: like the compensated action, plus undo_next_lsn and clr_action
+///  - kFuzzyMark: active_txns = snapshot of the active-transaction table,
+///    min_active_lsn = oldest LSN any of them wrote (propagation start point)
+///  - kCcBegin / kCcOk: table_id (the split source T), key = split attribute
+///    value under check, after = correct S-record image (kCcOk only)
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  LogRecordType type = LogRecordType::kBegin;
+  TxnId txn_id = kInvalidTxnId;
+  /// Previous log record of the same transaction (undo chain).
+  Lsn prev_lsn = kInvalidLsn;
+
+  TableId table_id = kInvalidTableId;
+  Row key;
+  Row before;
+  Row after;
+
+  /// kUpdate / kClr(kUndoUpdate): which columns changed, with old/new values
+  /// parallel to it.
+  std::vector<uint32_t> updated_columns;
+  std::vector<Value> before_values;
+  std::vector<Value> after_values;
+
+  /// kClr only: next record to undo (prev_lsn of the compensated record).
+  Lsn undo_next_lsn = kInvalidLsn;
+  ClrAction clr_action = ClrAction::kUndoInsert;
+
+  /// kFuzzyMark only.
+  std::vector<TxnId> active_txns;
+  Lsn min_active_lsn = kInvalidLsn;
+
+  /// \brief Binary serialization (length-prefixed fields); stable enough to
+  /// round-trip through a file for restart recovery.
+  void EncodeTo(std::string* out) const;
+  static Result<LogRecord> Decode(std::string_view data, size_t* offset);
+
+  std::string ToString() const;
+};
+
+}  // namespace morph::wal

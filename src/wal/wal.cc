@@ -1,0 +1,114 @@
+#include "wal/wal.h"
+
+#include <fstream>
+#include <mutex>
+
+namespace morph::wal {
+
+Lsn Wal::Append(LogRecord rec) {
+  std::unique_lock lock(mu_);
+  const Lsn lsn = base_lsn_ + records_.size();
+  rec.lsn = lsn;
+  records_.push_back(std::move(rec));
+  return lsn;
+}
+
+Lsn Wal::LastLsn() const {
+  std::shared_lock lock(mu_);
+  return base_lsn_ + records_.size() - 1;
+}
+
+size_t Wal::size() const {
+  std::shared_lock lock(mu_);
+  return records_.size();
+}
+
+Result<LogRecord> Wal::At(Lsn lsn) const {
+  std::shared_lock lock(mu_);
+  if (lsn < base_lsn_ || lsn >= base_lsn_ + records_.size()) {
+    return Status::NotFound("no log record with LSN " + std::to_string(lsn));
+  }
+  return records_[lsn - base_lsn_];
+}
+
+Lsn Wal::Scan(Lsn from, Lsn to,
+              const std::function<void(const LogRecord&)>& fn) const {
+  Lsn last = kInvalidLsn;
+  // Zero-copy chunked scan: the shared lock is dropped between small chunks
+  // so appenders keep making progress, and records are handed to `fn` by
+  // reference. Copying every record out would make scanning as expensive as
+  // executing the transactions that produced it — the propagator would then
+  // never keep up with a busy log even at full priority.
+  constexpr size_t kChunk = 128;
+  Lsn next = from;
+  while (next <= to) {
+    std::shared_lock lock(mu_);
+    if (next < base_lsn_) next = base_lsn_;
+    if (records_.empty()) break;
+    const Lsn end = std::min<Lsn>(to, base_lsn_ + records_.size() - 1);
+    if (next > end) break;
+    const Lsn stop = std::min<Lsn>(end, next + kChunk - 1);
+    for (Lsn l = next; l <= stop; ++l) {
+      fn(records_[l - base_lsn_]);
+      last = l;
+    }
+    next = stop + 1;
+  }
+  return last;
+}
+
+void Wal::TruncateBefore(Lsn keep_from) {
+  // Move the truncated prefix out under the lock and destroy it outside:
+  // freeing tens of thousands of records must not stall concurrent
+  // appenders (every transaction operation appends).
+  std::vector<LogRecord> graveyard;
+  {
+    std::unique_lock lock(mu_);
+    if (keep_from <= base_lsn_) return;
+    const size_t n = std::min<size_t>(keep_from - base_lsn_, records_.size());
+    graveyard.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      graveyard.push_back(std::move(records_.front()));
+      records_.pop_front();
+    }
+    base_lsn_ += n;
+  }
+}
+
+Lsn Wal::FirstLsn() const {
+  std::shared_lock lock(mu_);
+  return base_lsn_;
+}
+
+Status Wal::SaveToFile(const std::string& path) const {
+  std::string buf;
+  {
+    std::shared_lock lock(mu_);
+    for (const LogRecord& rec : records_) rec.EncodeTo(&buf);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status Wal::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  std::deque<LogRecord> records;
+  size_t offset = 0;
+  while (offset < buf.size()) {
+    auto rec = LogRecord::Decode(buf, &offset);
+    if (!rec.ok()) return rec.status();
+    records.push_back(std::move(rec).ValueOrDie());
+  }
+  std::unique_lock lock(mu_);
+  records_ = std::move(records);
+  base_lsn_ = records_.empty() ? 1 : records_.front().lsn;
+  return Status::OK();
+}
+
+}  // namespace morph::wal

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wal/log_record.h"
+
+namespace morph::wal {
+
+/// \brief The write-ahead log.
+///
+/// An append-only, totally ordered sequence of LogRecords. Appends assign
+/// strictly increasing LSNs starting at 1. The log is the *only* channel the
+/// transformation framework uses to observe user-transaction activity
+/// (paper abstract: "Only the log is used for change propagation"), so the
+/// read side exposes random access by LSN plus range scans that a background
+/// propagator can issue while writers keep appending.
+///
+/// Thread safety: all methods are safe to call concurrently.
+///
+/// Durability: the engine is main-memory (like the paper's prototype), but
+/// the full log can be serialized to a file and reloaded, which is what the
+/// restart-recovery path and its tests use.
+class Wal {
+ public:
+  Wal() = default;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// \brief Appends a record; assigns and returns its LSN (also stored into
+  /// `rec->lsn`).
+  Lsn Append(LogRecord rec);
+
+  /// \brief LSN of the last appended record; kInvalidLsn when empty.
+  Lsn LastLsn() const;
+
+  /// \brief Number of records in the log.
+  size_t size() const;
+
+  /// \brief Fetches a copy of the record at `lsn`.
+  Result<LogRecord> At(Lsn lsn) const;
+
+  /// \brief Invokes `fn` on every record with `from <= lsn <= to`, in LSN
+  /// order. `to` may exceed LastLsn(); the scan stops at the current end.
+  /// Returns the last LSN visited (kInvalidLsn if none).
+  ///
+  /// Zero-copy: `fn` receives a reference into the log, valid only for the
+  /// duration of the call, and runs while a shared lock on the log is held
+  /// (released every few records so appenders make progress). `fn` must
+  /// therefore not call back into this Wal — the log propagator, the main
+  /// scanner, never does: propagation writes tables, not log records.
+  Lsn Scan(Lsn from, Lsn to, const std::function<void(const LogRecord&)>& fn) const;
+
+  /// \brief Discards records with lsn < `keep_from` (log archiving /
+  /// checkpoint truncation). At()/Scan() treat the dropped range as absent.
+  /// Callers (e.g. the transformation coordinator) must not truncate past
+  /// the oldest LSN a propagator still needs.
+  void TruncateBefore(Lsn keep_from);
+
+  /// \brief First LSN still present (kInvalidLsn+1 == 1 if never truncated,
+  /// or LastLsn()+1 for an empty/new log).
+  Lsn FirstLsn() const;
+
+  /// \brief Serializes the whole (untruncated) log to `path` (overwrites).
+  Status SaveToFile(const std::string& path) const;
+
+  /// \brief Replaces this log's contents with the records in `path`.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  mutable std::shared_mutex mu_;
+  /// LSN of records_[0]; grows when the prefix is truncated.
+  Lsn base_lsn_ = 1;
+  std::deque<LogRecord> records_;
+};
+
+}  // namespace morph::wal

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "common/relops.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "tests/test_util.h"
+
+namespace morph {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Deadlock("x").IsDeadlock());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ConstraintViolation("x").IsConstraintViolation());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_EQ(Status::NotFound("missing").ToString(), "NotFound: missing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  MORPH_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_TRUE(Doubled(Status::Busy("b")).status().IsBusy());
+}
+
+// --- Value ---------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(5).type(), ValueType::kInt64);
+}
+
+TEST(ValueTest, NullComparesEqualToNullAndFirst) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value::Null(), Value(""));
+  EXPECT_LT(Value::Null(), Value(false));
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.1), Value(int64_t{4}));
+}
+
+TEST(ValueTest, EqualValuesHashEqually) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value(std::string("abc")).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "'x'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+TEST(ValueTest, LargeIntegerKeysCompareExactly) {
+  const int64_t big = (int64_t{1} << 53) + 1;
+  EXPECT_NE(Value(big), Value(big - 1));
+  EXPECT_LT(Value(big - 1), Value(big));
+}
+
+// --- Row -------------------------------------------------------------------------
+
+TEST(RowTest, ProjectAndConcat) {
+  Row r({1, "a", 2.5});
+  Row p = r.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], Value(2.5));
+  EXPECT_EQ(p[1], Value(1));
+
+  Row c = Row::Concat(Row({1}), Row({"x", "y"}));
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2], Value("y"));
+}
+
+TEST(RowTest, NullsAndAllNull) {
+  Row n = Row::Nulls(3);
+  EXPECT_TRUE(n.AllNull());
+  EXPECT_EQ(n.size(), 3u);
+  Row m({Value::Null(), Value(1)});
+  EXPECT_FALSE(m.AllNull());
+}
+
+TEST(RowTest, LexicographicCompare) {
+  EXPECT_LT(Row({1, 2}), Row({1, 3}));
+  EXPECT_LT(Row({1}), Row({1, 0}));
+  EXPECT_EQ(Row({1, "a"}), Row({1, "a"}));
+  EXPECT_NE(Row({1}), Row({2}));
+}
+
+TEST(RowTest, EqualRowsHashEqually) {
+  EXPECT_EQ(Row({1, "a"}).Hash(), Row({1, "a"}).Hash());
+}
+
+// --- Schema -----------------------------------------------------------------------
+
+TEST(SchemaTest, MakeResolvesKeys) {
+  auto schema = Schema::Make({{"id", ValueType::kInt64, false},
+                              {"name", ValueType::kString, true}},
+                             {"id"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->key_indices(), std::vector<size_t>{0});
+  EXPECT_EQ(schema->KeyOf(Row({7, "x"})), Row({7}));
+}
+
+TEST(SchemaTest, MakeRejectsUnknownKey) {
+  auto schema = Schema::Make({{"id", ValueType::kInt64, false}}, {"nope"});
+  EXPECT_TRUE(schema.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, MakeRejectsEmptyKey) {
+  auto schema = Schema::Make({{"id", ValueType::kInt64, false}}, {});
+  EXPECT_TRUE(schema.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, ValidateRowChecksArityTypeNullability) {
+  auto schema = *Schema::Make({{"id", ValueType::kInt64, false},
+                               {"name", ValueType::kString, true}},
+                              {"id"});
+  EXPECT_TRUE(schema.ValidateRow(Row({1, "a"})).ok());
+  EXPECT_TRUE(schema.ValidateRow(Row({1, Value::Null()})).ok());
+  EXPECT_TRUE(schema.ValidateRow(Row({1})).IsInvalidArgument());
+  EXPECT_TRUE(schema.ValidateRow(Row({"x", "a"})).IsInvalidArgument());
+  EXPECT_TRUE(
+      schema.ValidateRow(Row({Value::Null(), "a"})).IsConstraintViolation());
+}
+
+TEST(SchemaTest, IndicesOf) {
+  auto schema = *Schema::Make({{"a", ValueType::kInt64, true},
+                               {"b", ValueType::kInt64, true},
+                               {"c", ValueType::kInt64, true}},
+                              {"a"});
+  auto idx = schema.IndicesOf({"c", "a"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, (std::vector<size_t>{2, 0}));
+  EXPECT_TRUE(schema.IndicesOf({"zzz"}).status().IsInvalidArgument());
+}
+
+// --- relational operators ------------------------------------------------------------
+
+TEST(RelOpsTest, FojMatchesAndPads) {
+  // R(id, jv), S(sid, jv)
+  std::vector<Row> r = {Row({1, 10}), Row({2, 20}), Row({3, 99})};
+  std::vector<Row> s = {Row({100, 10}), Row({200, 20}), Row({300, 55})};
+  auto out = testing::Sorted(FullOuterJoin(r, 1, s, 1, 2, 2));
+  auto expected = testing::Sorted({
+      Row({1, 10, 100, 10}),
+      Row({2, 20, 200, 20}),
+      Row({3, 99, Value::Null(), Value::Null()}),
+      Row({Value::Null(), Value::Null(), 300, 55}),
+  });
+  EXPECT_EQ(out, expected) << testing::RowsToString(out);
+}
+
+TEST(RelOpsTest, FojManyToMany) {
+  std::vector<Row> r = {Row({1, 10}), Row({2, 10})};
+  std::vector<Row> s = {Row({100, 10}), Row({200, 10})};
+  auto out = FullOuterJoin(r, 1, s, 1, 2, 2);
+  EXPECT_EQ(out.size(), 4u);  // full cross product on the shared join value
+}
+
+TEST(RelOpsTest, FojNullJoinKeysNeverMatch) {
+  std::vector<Row> r = {Row({1, Value::Null()})};
+  std::vector<Row> s = {Row({100, Value::Null()})};
+  auto out = testing::Sorted(FullOuterJoin(r, 1, s, 1, 2, 2));
+  auto expected = testing::Sorted({
+      Row({1, Value::Null(), Value::Null(), Value::Null()}),
+      Row({Value::Null(), Value::Null(), 100, Value::Null()}),
+  });
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RelOpsTest, FojEmptyInputs) {
+  std::vector<Row> r, s = {Row({100, 10})};
+  auto out = FullOuterJoin(r, 1, s, 1, 2, 2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Row({Value::Null(), Value::Null(), 100, 10}));
+  EXPECT_TRUE(FullOuterJoin({}, 0, {}, 0, 2, 2).empty());
+}
+
+TEST(RelOpsTest, SplitCountsAndProjects) {
+  // T(id, zip, city): split into R(id, zip), S(zip, city).
+  std::vector<Row> t = {
+      Row({1, 7050, "Trondheim"}),
+      Row({2, 7050, "Trondheim"}),
+      Row({3, 5020, "Bergen"}),
+  };
+  auto result = Split(t, {0, 1}, {1, 2}, {0});
+  EXPECT_EQ(result.r_rows.size(), 3u);
+  ASSERT_EQ(result.s_rows.size(), 2u);
+  // Find the 7050 bucket.
+  size_t i7050 = result.s_rows[0][0] == Value(7050) ? 0 : 1;
+  EXPECT_EQ(result.s_counters[i7050], 2);
+  EXPECT_EQ(result.s_counters[1 - i7050], 1);
+  EXPECT_TRUE(result.s_consistent[i7050]);
+}
+
+TEST(RelOpsTest, SplitFlagsInconsistency) {
+  // The paper's Example 1: same postal code, different city spellings.
+  std::vector<Row> t = {
+      Row({1, 7050, "Trondheim"}),
+      Row({134, 7050, "Trnodheim"}),
+  };
+  auto result = Split(t, {0, 1}, {1, 2}, {0});
+  ASSERT_EQ(result.s_rows.size(), 1u);
+  EXPECT_EQ(result.s_counters[0], 2);
+  EXPECT_FALSE(result.s_consistent[0]);
+}
+
+}  // namespace
+}  // namespace morph

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
+#include "transform/coordinator.h"
+#include "transform/hsplit.h"
+
+namespace morph::transform {
+namespace {
+
+using morph::testing::Sorted;
+using morph::testing::SortedRows;
+
+Schema EventSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64, false},
+                        {"age", ValueType::kInt64, true},
+                        {"body", ValueType::kString, true}},
+                       {"id"});
+}
+
+class HorizontalSplitTest : public ::testing::Test {
+ protected:
+  void SetUp() override { t_src_ = *db_.CreateTable("events", EventSchema()); }
+
+  void Populate(const std::vector<Row>& rows) {
+    ASSERT_TRUE(db_.BulkLoad(t_src_.get(), rows).ok());
+    HorizontalSplitSpec spec;
+    spec.t_table = "events";
+    spec.predicate = {"age", RoutePredicate::Comparator::kLt, Value(100)};
+    spec.r_name = "hot";
+    spec.s_name = "cold";
+    auto rules = HorizontalSplitRules::Make(&db_, spec);
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    rules_ = std::move(rules).ValueOrDie();
+    ASSERT_TRUE(rules_->Prepare().ok());
+    ASSERT_TRUE(rules_->InitialPopulate().ok());
+    hot_ = rules_->r_table();
+    cold_ = rules_->s_table();
+  }
+
+  Op Ins(int64_t id, int64_t age, Lsn lsn) {
+    Op op;
+    op.type = OpType::kInsert;
+    op.lsn = lsn;
+    op.txn_id = 1;
+    op.table_id = t_src_->id();
+    op.key = Row({id});
+    op.after = Row({id, age, "b"});
+    return op;
+  }
+
+  Op Del(int64_t id, Lsn lsn) {
+    Op op;
+    op.type = OpType::kDelete;
+    op.lsn = lsn;
+    op.txn_id = 1;
+    op.table_id = t_src_->id();
+    op.key = Row({id});
+    return op;
+  }
+
+  Op UpdAge(int64_t id, int64_t age, Lsn lsn) {
+    Op op;
+    op.type = OpType::kUpdate;
+    op.lsn = lsn;
+    op.txn_id = 1;
+    op.table_id = t_src_->id();
+    op.key = Row({id});
+    op.updated_columns = {1};
+    op.before_values = {Value(int64_t{0})};
+    op.after_values = {Value(age)};
+    return op;
+  }
+
+  engine::Database db_;
+  std::shared_ptr<storage::Table> t_src_, hot_, cold_;
+  std::unique_ptr<HorizontalSplitRules> rules_;
+};
+
+TEST_F(HorizontalSplitTest, PredicateValidation) {
+  HorizontalSplitSpec spec;
+  spec.t_table = "events";
+  spec.predicate = {"nope", RoutePredicate::Comparator::kLt, Value(1)};
+  EXPECT_TRUE(
+      HorizontalSplitRules::Make(&db_, spec).status().IsInvalidArgument());
+}
+
+TEST_F(HorizontalSplitTest, InitialImageRoutesByPredicate) {
+  Populate({Row({1, 10, "x"}), Row({2, 500, "y"}), Row({3, 99, "z"})});
+  EXPECT_EQ(SortedRows(*hot_), Sorted({Row({1, 10, "x"}), Row({3, 99, "z"})}));
+  EXPECT_EQ(SortedRows(*cold_), Sorted({Row({2, 500, "y"})}));
+}
+
+TEST_F(HorizontalSplitTest, InsertRoutes) {
+  Populate({});
+  EXPECT_TRUE(rules_->Apply(Ins(1, 50, 100), nullptr).ok());
+  EXPECT_TRUE(rules_->Apply(Ins(2, 200, 101), nullptr).ok());
+  EXPECT_TRUE(hot_->Contains(Row({1})));
+  EXPECT_TRUE(cold_->Contains(Row({2})));
+}
+
+TEST_F(HorizontalSplitTest, DeleteFindsEitherSide) {
+  Populate({Row({1, 10, "x"}), Row({2, 500, "y"})});
+  EXPECT_TRUE(rules_->Apply(Del(1, 100), nullptr).ok());
+  EXPECT_TRUE(rules_->Apply(Del(2, 101), nullptr).ok());
+  EXPECT_EQ(hot_->size(), 0u);
+  EXPECT_EQ(cold_->size(), 0u);
+}
+
+TEST_F(HorizontalSplitTest, UpdateInPlace) {
+  Populate({Row({1, 10, "x"})});
+  EXPECT_TRUE(rules_->Apply(UpdAge(1, 20, 100), nullptr).ok());
+  EXPECT_EQ(hot_->Get(Row({1}))->row[1], Value(20));
+  EXPECT_EQ(rules_->counters().migrations, 0u);
+}
+
+TEST_F(HorizontalSplitTest, UpdateAcrossPredicateMigrates) {
+  Populate({Row({1, 10, "x"})});
+  EXPECT_TRUE(rules_->Apply(UpdAge(1, 300, 100), nullptr).ok());
+  EXPECT_FALSE(hot_->Contains(Row({1})));
+  ASSERT_TRUE(cold_->Contains(Row({1})));
+  EXPECT_EQ(cold_->Get(Row({1}))->row[1], Value(300));
+  EXPECT_EQ(rules_->counters().migrations, 1u);
+  // And back.
+  EXPECT_TRUE(rules_->Apply(UpdAge(1, 5, 101), nullptr).ok());
+  EXPECT_TRUE(hot_->Contains(Row({1})));
+  EXPECT_FALSE(cold_->Contains(Row({1})));
+}
+
+TEST_F(HorizontalSplitTest, StaleOpsIgnoredByLsnGate) {
+  Populate({Row({1, 10, "x"})});
+  EXPECT_TRUE(rules_->Apply(UpdAge(1, 999, 1), nullptr).ok());  // stale
+  EXPECT_TRUE(hot_->Contains(Row({1})));
+  EXPECT_EQ(hot_->Get(Row({1}))->row[1], Value(10));
+  EXPECT_TRUE(rules_->Apply(Del(1, 1), nullptr).ok());  // stale
+  EXPECT_TRUE(hot_->Contains(Row({1})));
+  EXPECT_EQ(rules_->counters().ops_ignored, 2u);
+}
+
+TEST_F(HorizontalSplitTest, ReplayIsIdempotent) {
+  Populate({Row({1, 10, "x"})});
+  const Op mv = UpdAge(1, 300, 100);
+  const Op back = UpdAge(1, 7, 101);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(rules_->Apply(mv, nullptr).ok());
+    EXPECT_TRUE(rules_->Apply(back, nullptr).ok());
+  }
+  EXPECT_TRUE(hot_->Contains(Row({1})));
+  EXPECT_FALSE(cold_->Contains(Row({1})));
+  EXPECT_EQ(hot_->Get(Row({1}))->row[1], Value(7));
+}
+
+TEST_F(HorizontalSplitTest, FuzzyDuplicateConverges) {
+  // Simulate a fuzzy anomaly: the key transiently exists on both sides with
+  // different LSNs; the next operation must leave exactly one copy.
+  Populate({Row({1, 10, "x"})});
+  storage::Record stale;
+  stale.row = Row({1, 500, "stale"});
+  stale.lsn = 1;  // older than the hot copy
+  ASSERT_TRUE(cold_->Insert(std::move(stale)).ok());
+  EXPECT_TRUE(rules_->Apply(UpdAge(1, 20, 100), nullptr).ok());
+  EXPECT_TRUE(hot_->Contains(Row({1})));
+  EXPECT_FALSE(cold_->Contains(Row({1})));
+  EXPECT_EQ(hot_->Get(Row({1}))->row[1], Value(20));
+}
+
+// End-to-end under concurrent workload: targets together equal the final
+// source, rows routed by the predicate.
+TEST(HorizontalSplitIntegrationTest, ConvergesUnderConcurrentWorkload) {
+  engine::Database db;
+  auto events = *db.CreateTable("events", EventSchema());
+  {
+    std::vector<Row> rows;
+    for (int i = 0; i < 80; ++i) {
+      rows.push_back(Row({i, static_cast<int64_t>(i * 7 % 200), "b0"}));
+    }
+    ASSERT_TRUE(db.BulkLoad(events.get(), rows).ok());
+  }
+  HorizontalSplitSpec spec;
+  spec.t_table = "events";
+  spec.predicate = {"age", RoutePredicate::Comparator::kLt, Value(100)};
+  spec.r_name = "hot";
+  spec.s_name = "cold";
+  auto rules = HorizontalSplitRules::Make(&db, spec);
+  ASSERT_TRUE(rules.ok());
+  auto shared =
+      std::shared_ptr<HorizontalSplitRules>(std::move(rules).ValueOrDie());
+
+  TransformConfig config;
+  config.drop_sources = false;
+  config.priority = 0.2;
+  TransformCoordinator coord(&db, shared, config);
+  coord.SetSyncHold(true);
+  auto stats_f = std::async(std::launch::async, [&] { return coord.Run(); });
+
+  Random rng(11);
+  for (int i = 0; i < 400; ++i) {
+    auto txn = db.Begin();
+    if (txn->epoch() > 0) {
+      (void)db.Abort(txn);
+      break;
+    }
+    const int64_t id = static_cast<int64_t>(rng.Uniform(100));
+    Status st;
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 20) {
+      st = db.Insert(txn, events.get(),
+                     Row({id, static_cast<int64_t>(rng.Uniform(200)), "bi"}));
+    } else if (dice < 35) {
+      st = db.Delete(txn, events.get(), Row({id}));
+    } else if (dice < 75) {
+      // Age updates frequently cross the predicate boundary.
+      st = db.Update(txn, events.get(), Row({id}),
+                     {{1, Value(static_cast<int64_t>(rng.Uniform(200)))}});
+    } else {
+      st = db.Update(txn, events.get(), Row({id}), {{2, Value("bu")}});
+    }
+    if (st.ok()) {
+      (void)db.Commit(txn);
+    } else {
+      (void)db.Abort(txn);
+    }
+  }
+  coord.SetSyncHold(false);
+  auto stats = stats_f.get();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->completed) << stats->abort_reason;
+
+  std::vector<Row> expected_hot, expected_cold;
+  events->ForEach([&](const storage::Record& rec) {
+    if (rec.row[1] < Value(100)) {
+      expected_hot.push_back(rec.row);
+    } else {
+      expected_cold.push_back(rec.row);
+    }
+  });
+  EXPECT_EQ(SortedRows(*shared->r_table()), Sorted(expected_hot));
+  EXPECT_EQ(SortedRows(*shared->s_table()), Sorted(expected_cold));
+}
+
+}  // namespace
+}  // namespace morph::transform

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
+#include "transform/coordinator.h"
+#include "transform/merge.h"
+
+namespace morph::transform {
+namespace {
+
+using morph::testing::Sorted;
+using morph::testing::SortedRows;
+
+Schema PartitionSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64, false},
+                        {"val", ValueType::kString, true}},
+                       {"id"});
+}
+
+class MergeRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *db_.CreateTable("part_a", PartitionSchema());
+    s_ = *db_.CreateTable("part_b", PartitionSchema());
+  }
+
+  void Populate(const std::vector<Row>& r_rows, const std::vector<Row>& s_rows) {
+    ASSERT_TRUE(db_.BulkLoad(r_.get(), r_rows).ok());
+    ASSERT_TRUE(db_.BulkLoad(s_.get(), s_rows).ok());
+    MergeSpec spec;
+    spec.r_table = "part_a";
+    spec.s_table = "part_b";
+    spec.target_table = "merged";
+    auto rules = MergeRules::Make(&db_, spec);
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    rules_ = std::move(rules).ValueOrDie();
+    ASSERT_TRUE(rules_->Prepare().ok());
+    ASSERT_TRUE(rules_->InitialPopulate().ok());
+    t_ = rules_->target();
+  }
+
+  Op Ins(storage::Table* table, int64_t id, const std::string& val, Lsn lsn) {
+    Op op;
+    op.type = OpType::kInsert;
+    op.lsn = lsn;
+    op.txn_id = 1;
+    op.table_id = table->id();
+    op.key = Row({id});
+    op.after = Row({id, val});
+    return op;
+  }
+
+  Op Del(storage::Table* table, int64_t id, Lsn lsn) {
+    Op op;
+    op.type = OpType::kDelete;
+    op.lsn = lsn;
+    op.txn_id = 1;
+    op.table_id = table->id();
+    op.key = Row({id});
+    return op;
+  }
+
+  Op Upd(storage::Table* table, int64_t id, const std::string& val, Lsn lsn) {
+    Op op;
+    op.type = OpType::kUpdate;
+    op.lsn = lsn;
+    op.txn_id = 1;
+    op.table_id = table->id();
+    op.key = Row({id});
+    op.updated_columns = {1};
+    op.before_values = {Value("?")};
+    op.after_values = {Value(val)};
+    return op;
+  }
+
+  engine::Database db_;
+  std::shared_ptr<storage::Table> r_, s_, t_;
+  std::unique_ptr<MergeRules> rules_;
+};
+
+TEST_F(MergeRulesTest, RequiresIdenticalSchemas) {
+  auto other = *db_.CreateTable(
+      "other", *Schema::Make({{"id", ValueType::kInt64, false},
+                              {"extra", ValueType::kInt64, true}},
+                             {"id"}));
+  MergeSpec spec;
+  spec.r_table = "part_a";
+  spec.s_table = "other";
+  EXPECT_TRUE(MergeRules::Make(&db_, spec).status().IsInvalidArgument());
+}
+
+TEST_F(MergeRulesTest, InitialImageIsUnion) {
+  Populate({Row({1, "a"}), Row({2, "b"})}, {Row({10, "x"}), Row({11, "y"})});
+  EXPECT_EQ(SortedRows(*t_),
+            Sorted({Row({1, "a"}), Row({2, "b"}), Row({10, "x"}),
+                    Row({11, "y"})}));
+  // Records keep their source LSNs as state identifiers.
+  EXPECT_EQ(t_->Get(Row({1}))->lsn, r_->Get(Row({1}))->lsn);
+}
+
+TEST_F(MergeRulesTest, InsertDeleteUpdateFromBothSides) {
+  Populate({Row({1, "a"})}, {Row({10, "x"})});
+  EXPECT_TRUE(rules_->Apply(Ins(r_.get(), 2, "b", 100), nullptr).ok());
+  EXPECT_TRUE(rules_->Apply(Ins(s_.get(), 11, "y", 101), nullptr).ok());
+  EXPECT_TRUE(rules_->Apply(Upd(r_.get(), 1, "a2", 102), nullptr).ok());
+  EXPECT_TRUE(rules_->Apply(Del(s_.get(), 10, 103), nullptr).ok());
+  EXPECT_EQ(SortedRows(*t_),
+            Sorted({Row({1, "a2"}), Row({2, "b"}), Row({11, "y"})}));
+}
+
+TEST_F(MergeRulesTest, LsnGatesMakeReplayIdempotent) {
+  Populate({Row({1, "a"})}, {});
+  const Op ins = Ins(r_.get(), 2, "b", 100);
+  const Op upd = Upd(r_.get(), 1, "a2", 101);
+  const Op del = Del(r_.get(), 2, 102);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(rules_->Apply(ins, nullptr).ok());
+    EXPECT_TRUE(rules_->Apply(upd, nullptr).ok());
+    EXPECT_TRUE(rules_->Apply(del, nullptr).ok());
+  }
+  EXPECT_EQ(SortedRows(*t_), Sorted({Row({1, "a2"})}));
+}
+
+TEST_F(MergeRulesTest, StaleOperationsIgnored) {
+  Populate({Row({1, "a"})}, {});
+  const Lsn image_lsn = t_->Get(Row({1}))->lsn;
+  // An update and a delete with LSNs below the image must be ignored.
+  EXPECT_TRUE(rules_->Apply(Upd(r_.get(), 1, "stale", 1), nullptr).ok());
+  EXPECT_EQ(t_->Get(Row({1}))->row[1], Value("a"));
+  EXPECT_TRUE(rules_->Apply(Del(r_.get(), 1, 1), nullptr).ok());
+  EXPECT_TRUE(t_->Contains(Row({1})));
+  EXPECT_EQ(t_->Get(Row({1}))->lsn, image_lsn);
+  EXPECT_EQ(rules_->counters().ops_ignored, 2u);
+}
+
+TEST_F(MergeRulesTest, CrossTableMoveConverges) {
+  // A record "moves" from part_a to part_b (delete + insert in one txn);
+  // replay converges regardless of what the fuzzy image caught.
+  Populate({Row({5, "v1"})}, {});
+  EXPECT_TRUE(rules_->Apply(Del(r_.get(), 5, 100), nullptr).ok());
+  EXPECT_TRUE(rules_->Apply(Ins(s_.get(), 5, "v2", 101), nullptr).ok());
+  EXPECT_EQ(SortedRows(*t_), Sorted({Row({5, "v2"})}));
+  // Replaying the pair changes nothing.
+  EXPECT_TRUE(rules_->Apply(Del(r_.get(), 5, 100), nullptr).ok());
+  EXPECT_TRUE(rules_->Apply(Ins(s_.get(), 5, "v2", 101), nullptr).ok());
+  EXPECT_EQ(SortedRows(*t_), Sorted({Row({5, "v2"})}));
+}
+
+// End-to-end: merge two partitions while clients write both; the merged
+// table equals the union of the final sources.
+TEST(MergeIntegrationTest, ConvergesUnderConcurrentWorkload) {
+  engine::Database db;
+  auto a = *db.CreateTable("part_a", PartitionSchema());
+  auto b = *db.CreateTable("part_b", PartitionSchema());
+  {
+    std::vector<Row> rows;
+    for (int i = 0; i < 50; ++i) rows.push_back(Row({i, "a0"}));
+    ASSERT_TRUE(db.BulkLoad(a.get(), rows).ok());
+    rows.clear();
+    for (int i = 1000; i < 1040; ++i) rows.push_back(Row({i, "b0"}));
+    ASSERT_TRUE(db.BulkLoad(b.get(), rows).ok());
+  }
+  MergeSpec spec;
+  spec.r_table = "part_a";
+  spec.s_table = "part_b";
+  spec.target_table = "merged";
+  auto rules = MergeRules::Make(&db, spec);
+  ASSERT_TRUE(rules.ok());
+  auto shared = std::shared_ptr<MergeRules>(std::move(rules).ValueOrDie());
+
+  TransformConfig config;
+  config.drop_sources = false;
+  config.priority = 0.2;
+  TransformCoordinator coord(&db, shared, config);
+  coord.SetSyncHold(true);
+  auto stats_f = std::async(std::launch::async, [&] { return coord.Run(); });
+
+  Random rng(3);
+  for (int i = 0; i < 300; ++i) {
+    auto txn = db.Begin();
+    if (txn->epoch() > 0) {
+      (void)db.Abort(txn);
+      break;
+    }
+    Status st;
+    if (rng.Bernoulli(0.5)) {
+      const int64_t id = static_cast<int64_t>(rng.Uniform(60));
+      st = rng.Bernoulli(0.3) ? db.Delete(txn, a.get(), Row({id}))
+           : rng.Bernoulli(0.4)
+               ? db.Insert(txn, a.get(), Row({id, "ai"}))
+               : db.Update(txn, a.get(), Row({id}), {{1, Value("au")}});
+    } else {
+      const int64_t id = 1000 + static_cast<int64_t>(rng.Uniform(50));
+      st = rng.Bernoulli(0.3) ? db.Delete(txn, b.get(), Row({id}))
+           : rng.Bernoulli(0.4)
+               ? db.Insert(txn, b.get(), Row({id, "bi"}))
+               : db.Update(txn, b.get(), Row({id}), {{1, Value("bu")}});
+    }
+    if (st.ok()) {
+      (void)db.Commit(txn);
+    } else {
+      (void)db.Abort(txn);
+    }
+  }
+  coord.SetSyncHold(false);
+  auto stats = stats_f.get();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->completed) << stats->abort_reason;
+
+  std::vector<Row> expected;
+  a->ForEach([&](const storage::Record& rec) { expected.push_back(rec.row); });
+  b->ForEach([&](const storage::Record& rec) { expected.push_back(rec.row); });
+  EXPECT_EQ(SortedRows(*shared->target()), Sorted(expected));
+}
+
+}  // namespace
+}  // namespace morph::transform

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/database.h"
+#include "txn/lock_manager.h"
+
+namespace morph::txn {
+namespace {
+
+using O = LockMode;
+
+// The classic IS/IX/S/X compatibility matrix, entry by entry.
+TEST(MultigranularityMatrixTest, EntryByEntry) {
+  const LockMode modes[4] = {O::kIntentionShared, O::kIntentionExclusive,
+                             O::kShared, O::kExclusive};
+  const bool expected[4][4] = {
+      // IS    IX     S      X
+      {true, true, true, false},    // IS
+      {true, true, false, false},   // IX
+      {true, false, true, false},   // S
+      {false, false, false, false}  // X
+  };
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(LockModesCompatible(modes[i], modes[j]), expected[i][j])
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(MultigranularityLockTest, IntentionModesCoexist) {
+  LockManager lm;
+  const RecordId tid = LockManager::TableLockId(7);
+  EXPECT_TRUE(lm.Acquire(1, tid, O::kIntentionExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, tid, O::kIntentionShared).ok());
+  EXPECT_TRUE(lm.Acquire(3, tid, O::kIntentionExclusive).ok());
+  EXPECT_EQ(lm.num_locks(), 3u);
+}
+
+TEST(MultigranularityLockTest, TableSharedExcludesIntentWriters) {
+  LockManager lm(/*wait_timeout_micros=*/50'000);
+  const RecordId tid = LockManager::TableLockId(7);
+  ASSERT_TRUE(lm.Acquire(1, tid, O::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, tid, O::kIntentionShared).ok());
+  // Younger intent-writer dies against the older S holder.
+  EXPECT_TRUE(lm.Acquire(3, tid, O::kIntentionExclusive).IsDeadlock());
+}
+
+TEST(MultigranularityLockTest, UpgradeEscalations) {
+  LockManager lm;
+  const RecordId tid = LockManager::TableLockId(7);
+  // IS -> S upgrade when alone.
+  ASSERT_TRUE(lm.Acquire(1, tid, O::kIntentionShared).ok());
+  ASSERT_TRUE(lm.Acquire(1, tid, O::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, tid, O::kShared));
+  // S + IX mix escalates to X (no SIX mode).
+  ASSERT_TRUE(lm.Acquire(1, tid, O::kIntentionExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, tid, O::kExclusive));
+  lm.ReleaseAll(1);
+
+  // Held X covers everything.
+  ASSERT_TRUE(lm.Acquire(2, tid, O::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, tid, O::kIntentionShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, tid, O::kShared).ok());
+  EXPECT_EQ(lm.num_locks(), 1u);
+}
+
+TEST(MultigranularityLockTest, RecordModesUnchanged) {
+  LockManager lm(/*wait_timeout_micros=*/50'000);
+  RecordId rid{1, Row({5})};
+  ASSERT_TRUE(lm.Acquire(1, rid, O::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, rid, O::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(3, rid, O::kExclusive).IsDeadlock());
+}
+
+}  // namespace
+}  // namespace morph::txn
+
+namespace morph::engine {
+namespace {
+
+Schema SimpleSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64, false},
+                        {"v", ValueType::kInt64, true}},
+                       {"id"});
+}
+
+TEST(MultigranularityEngineTest, DisabledByDefault) {
+  Database db;
+  auto table = *db.CreateTable("t", SimpleSchema());
+  auto t = db.Begin();
+  EXPECT_TRUE(
+      db.LockTable(t, table.get(), txn::LockMode::kShared).IsNotSupported());
+  ASSERT_TRUE(db.Commit(t).ok());
+}
+
+TEST(MultigranularityEngineTest, TableSharedLockBlocksWriters) {
+  DatabaseOptions options;
+  options.multigranularity_locking = true;
+  options.lock_timeout_micros = 100'000;
+  Database db(options);
+  auto table = *db.CreateTable("t", SimpleSchema());
+  ASSERT_TRUE(db.BulkLoad(table.get(), {Row({1, 0}), Row({2, 0})}).ok());
+
+  // An older transaction takes a table-granularity S lock (e.g. a stable
+  // full-table read).
+  auto reader = db.Begin();
+  ASSERT_TRUE(db.LockTable(reader, table.get(), txn::LockMode::kShared).ok());
+
+  // Reads coexist (IS vs S)...
+  auto other_reader = db.Begin();
+  EXPECT_TRUE(db.Read(other_reader, table.get(), Row({1})).ok());
+  ASSERT_TRUE(db.Commit(other_reader).ok());
+
+  // ...but a younger writer's IX dies against the table S.
+  auto writer = db.Begin();
+  EXPECT_TRUE(db.Update(writer, table.get(), Row({1}), {{1, Value(9)}})
+                  .IsDeadlock());
+  ASSERT_TRUE(db.Abort(writer).ok());
+
+  // Once the reader commits, writers proceed.
+  ASSERT_TRUE(db.Commit(reader).ok());
+  auto writer2 = db.Begin();
+  EXPECT_TRUE(db.Update(writer2, table.get(), Row({1}), {{1, Value(9)}}).ok());
+  ASSERT_TRUE(db.Commit(writer2).ok());
+}
+
+TEST(MultigranularityEngineTest, TableExclusiveWaitsForIntentHolders) {
+  DatabaseOptions options;
+  options.multigranularity_locking = true;
+  Database db(options);
+  auto table = *db.CreateTable("t", SimpleSchema());
+  ASSERT_TRUE(db.BulkLoad(table.get(), {Row({1, 0})}).ok());
+
+  // Older transaction wants table X while a younger writer holds IX: the
+  // older one waits until the writer finishes.
+  auto older = db.Begin();
+  auto younger = db.Begin();
+  ASSERT_TRUE(db.Update(younger, table.get(), Row({1}), {{1, Value(5)}}).ok());
+
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(db.LockTable(older, table.get(), txn::LockMode::kExclusive).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  ASSERT_TRUE(db.Commit(younger).ok());
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  ASSERT_TRUE(db.Commit(older).ok());
+}
+
+TEST(MultigranularityEngineTest, NormalWorkloadUnaffected) {
+  DatabaseOptions options;
+  options.multigranularity_locking = true;
+  Database db(options);
+  auto table = *db.CreateTable("t", SimpleSchema());
+  ASSERT_TRUE(db.BulkLoad(table.get(), {Row({1, 0}), Row({2, 0})}).ok());
+  // Concurrent record writers on distinct records coexist (IX vs IX).
+  auto t1 = db.Begin();
+  auto t2 = db.Begin();
+  EXPECT_TRUE(db.Update(t1, table.get(), Row({1}), {{1, Value(1)}}).ok());
+  EXPECT_TRUE(db.Update(t2, table.get(), Row({2}), {{1, Value(2)}}).ok());
+  ASSERT_TRUE(db.Commit(t1).ok());
+  ASSERT_TRUE(db.Commit(t2).ok());
+}
+
+}  // namespace
+}  // namespace morph::engine

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "transform/op.h"
+
+namespace morph::transform {
+namespace {
+
+wal::LogRecord Base(wal::LogRecordType type) {
+  wal::LogRecord rec;
+  rec.type = type;
+  rec.lsn = 42;
+  rec.txn_id = 7;
+  rec.table_id = 3;
+  rec.key = Row({1});
+  return rec;
+}
+
+TEST(OpTest, InsertCarriesAfterImage) {
+  wal::LogRecord rec = Base(wal::LogRecordType::kInsert);
+  rec.after = Row({1, 10, "x"});
+  auto op = Op::FromLogRecord(rec);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->type, OpType::kInsert);
+  EXPECT_EQ(op->lsn, 42u);
+  EXPECT_EQ(op->txn_id, 7u);
+  EXPECT_EQ(op->table_id, 3u);
+  EXPECT_EQ(op->after, rec.after);
+}
+
+TEST(OpTest, DeleteCarriesBeforeImage) {
+  wal::LogRecord rec = Base(wal::LogRecordType::kDelete);
+  rec.before = Row({1, 10, "x"});
+  auto op = Op::FromLogRecord(rec);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->type, OpType::kDelete);
+  EXPECT_EQ(op->before, rec.before);
+}
+
+TEST(OpTest, UpdateCarriesPartialImages) {
+  wal::LogRecord rec = Base(wal::LogRecordType::kUpdate);
+  rec.updated_columns = {1, 2};
+  rec.before_values = {Value(10), Value("x")};
+  rec.after_values = {Value(20), Value("y")};
+  auto op = Op::FromLogRecord(rec);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->type, OpType::kUpdate);
+  EXPECT_EQ(op->updated_columns, rec.updated_columns);
+  EXPECT_EQ(op->before_values[0], Value(10));
+  EXPECT_EQ(op->after_values[1], Value("y"));
+}
+
+// CLRs normalize into the inverse physical operation, so propagation rules
+// never special-case rollback.
+TEST(OpTest, ClrUndoInsertBecomesDelete) {
+  wal::LogRecord rec = Base(wal::LogRecordType::kClr);
+  rec.clr_action = wal::ClrAction::kUndoInsert;
+  rec.before = Row({1, 10, "x"});
+  auto op = Op::FromLogRecord(rec);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->type, OpType::kDelete);
+  EXPECT_EQ(op->before, rec.before);
+}
+
+TEST(OpTest, ClrUndoDeleteBecomesInsert) {
+  wal::LogRecord rec = Base(wal::LogRecordType::kClr);
+  rec.clr_action = wal::ClrAction::kUndoDelete;
+  rec.after = Row({1, 10, "x"});
+  auto op = Op::FromLogRecord(rec);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->type, OpType::kInsert);
+  EXPECT_EQ(op->after, rec.after);
+}
+
+TEST(OpTest, ClrUndoUpdateBecomesUpdate) {
+  wal::LogRecord rec = Base(wal::LogRecordType::kClr);
+  rec.clr_action = wal::ClrAction::kUndoUpdate;
+  rec.updated_columns = {2};
+  // The CLR's images are already swapped at creation: after_values restore.
+  rec.before_values = {Value("new")};
+  rec.after_values = {Value("old")};
+  auto op = Op::FromLogRecord(rec);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->type, OpType::kUpdate);
+  EXPECT_EQ(op->after_values[0], Value("old"));
+}
+
+TEST(OpTest, NonDataRecordsYieldNothing) {
+  for (auto type : {wal::LogRecordType::kBegin, wal::LogRecordType::kCommit,
+                    wal::LogRecordType::kAbort, wal::LogRecordType::kTxnEnd,
+                    wal::LogRecordType::kFuzzyMark, wal::LogRecordType::kCcBegin,
+                    wal::LogRecordType::kCcOk}) {
+    EXPECT_FALSE(Op::FromLogRecord(Base(type)).has_value())
+        << wal::LogRecordTypeToString(type);
+  }
+}
+
+TEST(OpTest, UpdatesColumnFindsValues) {
+  Op op;
+  op.type = OpType::kUpdate;
+  op.updated_columns = {1, 3};
+  op.before_values = {Value(10), Value("a")};
+  op.after_values = {Value(20), Value("b")};
+
+  Value before, after;
+  EXPECT_TRUE(op.UpdatesColumn(3, &before, &after));
+  EXPECT_EQ(before, Value("a"));
+  EXPECT_EQ(after, Value("b"));
+  EXPECT_TRUE(op.UpdatesColumn(1));
+  EXPECT_FALSE(op.UpdatesColumn(0));
+  EXPECT_FALSE(op.UpdatesColumn(2, &before, &after));
+}
+
+}  // namespace
+}  // namespace morph::transform

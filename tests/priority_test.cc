@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "transform/priority.h"
+
+namespace morph::transform {
+namespace {
+
+TEST(PriorityControllerTest, FullPriorityNeverSleeps) {
+  PriorityController pc(1.0);
+  const auto start = Clock::Now();
+  for (int i = 0; i < 1000; ++i) pc.OnWorkDone(1'000'000);  // 1 ms each
+  EXPECT_LT(Clock::MicrosSince(start), 50'000);
+}
+
+TEST(PriorityControllerTest, PriorityClampedToValidRange) {
+  PriorityController pc(5.0);
+  EXPECT_DOUBLE_EQ(pc.priority(), 1.0);
+  pc.set_priority(-1.0);
+  EXPECT_DOUBLE_EQ(pc.priority(), 0.001);
+  pc.set_priority(0.25);
+  EXPECT_DOUBLE_EQ(pc.priority(), 0.25);
+}
+
+TEST(PriorityControllerTest, HalfPriorityRoughlyDoublesWallTime) {
+  PriorityController pc(0.5);
+  const auto start = Clock::Now();
+  // Report 40 ms of work in 2 ms slices: at 50% duty the controller owes
+  // another ~40 ms of sleep.
+  for (int i = 0; i < 20; ++i) pc.OnWorkDone(2'000'000);
+  const int64_t slept = Clock::MicrosSince(start);
+  // Generous bounds: sleep_for overshoots substantially on a loaded
+  // single-core host; only gross mis-accounting should fail this.
+  EXPECT_GT(slept, 30'000);
+  EXPECT_LT(slept, 400'000);
+}
+
+TEST(PriorityControllerTest, SubMicrosecondSlicesAccumulateDebt) {
+  // The regression this class exists for: slices far below the sleep
+  // quantum must still be paid for once their debt accumulates.
+  PriorityController pc(0.01);
+  const auto start = Clock::Now();
+  // 2000 slices of 500 ns = 1 ms of work; at 1% duty the controller owes
+  // ~99 ms of sleep.
+  for (int i = 0; i < 2000; ++i) pc.OnWorkDone(500);
+  const int64_t slept = Clock::MicrosSince(start);
+  EXPECT_GT(slept, 60'000);
+}
+
+TEST(PriorityControllerTest, ZeroOrNegativeWorkIgnored) {
+  PriorityController pc(0.01);
+  const auto start = Clock::Now();
+  for (int i = 0; i < 1000; ++i) {
+    pc.OnWorkDone(0);
+    pc.OnWorkDone(-5);
+  }
+  EXPECT_LT(Clock::MicrosSince(start), 20'000);
+}
+
+TEST(PriorityControllerTest, PriorityChangeTakesEffect) {
+  PriorityController pc(0.001);
+  pc.set_priority(1.0);
+  const auto start = Clock::Now();
+  for (int i = 0; i < 100; ++i) pc.OnWorkDone(1'000'000);
+  EXPECT_LT(Clock::MicrosSince(start), 20'000);
+}
+
+}  // namespace
+}  // namespace morph::transform

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "common/relops.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
+#include "transform/coordinator.h"
+#include "transform/split.h"
+
+namespace morph::transform {
+namespace {
+
+using morph::testing::Sorted;
+using morph::testing::SortedRows;
+
+SplitSpec AltSpec() {
+  SplitSpec spec;
+  spec.t_table = "t";
+  spec.r_columns = {"id", "zip", "body"};  // overridden by the mode
+  spec.s_columns = {"zip", "city"};
+  spec.split_columns = {"zip"};
+  spec.r_name = "customers";
+  spec.s_name = "locations";
+  spec.reuse_source_as_r = true;
+  return spec;
+}
+
+// The §5.2 alternative strategy: only S is materialized; a small temporary
+// table P tracks (key, split value, LSN) during propagation; at completion
+// T is renamed into R and P vanishes.
+TEST(SplitAlternativeTest, RenamesSourceIntoRAndDropsBookkeeping) {
+  engine::Database db;
+  auto t_src = *db.CreateTable("t", morph::testing::TSplitSchema());
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t zip = 7000 + i % 10;
+    rows.push_back(Row({i, zip, "city" + std::to_string(zip), "b"}));
+  }
+  ASSERT_TRUE(db.BulkLoad(t_src.get(), rows).ok());
+
+  auto rules = SplitRules::Make(&db, AltSpec());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  auto shared = std::shared_ptr<SplitRules>(std::move(rules).ValueOrDie());
+
+  TransformConfig config;
+  config.strategy = SyncStrategy::kNonBlockingAbort;
+  TransformCoordinator coord(&db, shared, config);
+  coord.SetSyncHold(true);
+  auto stats_f = std::async(std::launch::async, [&] { return coord.Run(); });
+
+  // Concurrent activity, incl. zip moves, while the split runs.
+  for (int i = 0; i < 40; ++i) {
+    auto txn = db.Begin();
+    if (txn->epoch() > 0) {
+      (void)db.Abort(txn);
+      break;
+    }
+    const int64_t zip = 7000 + (i * 3) % 10;
+    ASSERT_TRUE(db.Update(txn, t_src.get(), Row({i}),
+                          {{1, Value(zip)},
+                           {2, Value("city" + std::to_string(zip))}})
+                    .ok());
+    ASSERT_TRUE(db.Commit(txn).ok());
+  }
+  coord.SetSyncHold(false);
+  auto stats = stats_f.get();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->completed) << stats->abort_reason;
+
+  // T was renamed into R (same storage, same table id); P is gone.
+  EXPECT_EQ(db.catalog()->GetByName("t"), nullptr);
+  auto renamed = db.catalog()->GetByName("customers");
+  ASSERT_NE(renamed, nullptr);
+  EXPECT_EQ(renamed->id(), t_src->id());
+  EXPECT_EQ(db.catalog()->GetByName("customers__p"), nullptr);
+
+  // S matches the oracle split of the final T contents, counters included.
+  std::vector<Row> t_rows;
+  renamed->ForEach([&](const storage::Record& rec) { t_rows.push_back(rec.row); });
+  auto oracle = morph::Split(t_rows, {0, 1, 3}, {1, 2}, {0});
+  EXPECT_EQ(SortedRows(*shared->s_table()), Sorted(oracle.s_rows));
+  for (size_t i = 0; i < oracle.s_rows.size(); ++i) {
+    auto rec = shared->s_table()->Get(Row({oracle.s_rows[i][0]}));
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->counter, oracle.s_counters[i]);
+  }
+
+  // R is an ordinary table for new transactions.
+  auto txn = db.Begin();
+  EXPECT_TRUE(db.Read(txn, renamed.get(), Row({5})).ok());
+  EXPECT_TRUE(db.Update(txn, renamed.get(), Row({5}), {{3, Value("post")}}).ok());
+  EXPECT_TRUE(db.Commit(txn).ok());
+}
+
+TEST(SplitAlternativeTest, NonBlockingCommitRejected) {
+  engine::Database db;
+  auto t_src = *db.CreateTable("t", morph::testing::TSplitSchema());
+  ASSERT_TRUE(db.BulkLoad(t_src.get(), {Row({1, 7050, "c", "b"})}).ok());
+  auto rules = SplitRules::Make(&db, AltSpec());
+  ASSERT_TRUE(rules.ok());
+  TransformConfig config;
+  config.strategy = SyncStrategy::kNonBlockingCommit;
+  TransformCoordinator coord(
+      &db, std::shared_ptr<SplitRules>(std::move(rules).ValueOrDie()), config);
+  auto stats = coord.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->completed);
+  EXPECT_NE(stats->abort_reason.find("not supported"), std::string::npos);
+  // The engine is untouched and usable.
+  ASSERT_NE(db.catalog()->GetByName("t"), nullptr);
+  EXPECT_EQ(db.catalog()->GetByName("locations"), nullptr);
+}
+
+TEST(SplitAlternativeTest, AbortLeavesSourceUntouched) {
+  engine::Database db;
+  auto t_src = *db.CreateTable("t", morph::testing::TSplitSchema());
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(Row({i, 7000 + i % 5, "c", "b"}));
+  ASSERT_TRUE(db.BulkLoad(t_src.get(), rows).ok());
+
+  auto rules = SplitRules::Make(&db, AltSpec());
+  ASSERT_TRUE(rules.ok());
+  TransformConfig config;
+  config.strategy = SyncStrategy::kNonBlockingAbort;
+  TransformCoordinator coord(
+      &db, std::shared_ptr<SplitRules>(std::move(rules).ValueOrDie()), config);
+  coord.SetSyncHold(true);
+  auto stats_f = std::async(std::launch::async, [&] { return coord.Run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  coord.RequestAbort();
+  coord.SetSyncHold(false);
+  auto stats = stats_f.get();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->completed);
+  // T keeps its name and data; both P and S are gone.
+  ASSERT_NE(db.catalog()->GetByName("t"), nullptr);
+  EXPECT_EQ(db.catalog()->GetByName("customers"), nullptr);
+  EXPECT_EQ(db.catalog()->GetByName("customers__p"), nullptr);
+  EXPECT_EQ(db.catalog()->GetByName("locations"), nullptr);
+  EXPECT_EQ(t_src->size(), 100u);
+}
+
+}  // namespace
+}  // namespace morph::transform

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "sql/executor.h"
+
+namespace morph::sql {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() : session_(&db_) {}
+
+  ResultSet Must(const std::string& stmt) {
+    auto result = session_.Execute(stmt);
+    EXPECT_TRUE(result.ok()) << stmt << " -> " << result.status().ToString();
+    return result.ok() ? *result : ResultSet{};
+  }
+
+  engine::Database db_;
+  Session session_;
+};
+
+TEST_F(SqlTest, CreateInsertSelect) {
+  Must("CREATE TABLE users (id INT NOT NULL, name TEXT, PRIMARY KEY (id))");
+  Must("INSERT INTO users VALUES (1, 'ada'), (2, 'bob')");
+  auto rs = Must("SELECT * FROM users");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"id", "name"}));
+  EXPECT_EQ(rs.rows[0], Row({1, "ada"}));
+}
+
+TEST_F(SqlTest, SelectPointAndScan) {
+  Must("CREATE TABLE t (id INT NOT NULL, grp INT, PRIMARY KEY (id))");
+  Must("INSERT INTO t VALUES (1, 10), (2, 20), (3, 10)");
+  auto point = Must("SELECT * FROM t WHERE id = 2");
+  ASSERT_EQ(point.rows.size(), 1u);
+  EXPECT_EQ(point.rows[0][1], Value(20));
+  auto scan = Must("SELECT id FROM t WHERE grp = 10");
+  ASSERT_EQ(scan.rows.size(), 2u);
+  auto limited = Must("SELECT id FROM t LIMIT 2");
+  EXPECT_EQ(limited.rows.size(), 2u);
+}
+
+TEST_F(SqlTest, UpdateAndDeleteWithWhere) {
+  Must("CREATE TABLE t (id INT NOT NULL, grp INT, v TEXT, PRIMARY KEY (id))");
+  Must("INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 10, 'c')");
+  auto upd = Must("UPDATE t SET v = 'x' WHERE grp = 10");
+  EXPECT_NE(upd.message.find("2 row(s)"), std::string::npos);
+  auto sel = Must("SELECT v FROM t WHERE id = 3");
+  EXPECT_EQ(sel.rows[0][0], Value("x"));
+  auto del = Must("DELETE FROM t WHERE grp = 10");
+  EXPECT_NE(del.message.find("2 row(s)"), std::string::npos);
+  EXPECT_EQ(Must("SELECT * FROM t").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, InsertColumnSubsetFillsNulls) {
+  Must("CREATE TABLE t (id INT NOT NULL, a TEXT, b INT, PRIMARY KEY (id))");
+  Must("INSERT INTO t (id, b) VALUES (1, 5)");
+  auto rs = Must("SELECT * FROM t WHERE id = 1");
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+  EXPECT_EQ(rs.rows[0][2], Value(5));
+}
+
+TEST_F(SqlTest, ConstraintAndTypeErrors) {
+  Must("CREATE TABLE t (id INT NOT NULL, a TEXT, PRIMARY KEY (id))");
+  EXPECT_TRUE(session_.Execute("INSERT INTO t VALUES (NULL, 'x')")
+                  .status()
+                  .IsConstraintViolation());
+  EXPECT_TRUE(session_.Execute("INSERT INTO t VALUES ('str', 'x')")
+                  .status()
+                  .IsInvalidArgument());
+  Must("INSERT INTO t VALUES (1, 'x')");
+  EXPECT_TRUE(session_.Execute("INSERT INTO t VALUES (1, 'dup')")
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(
+      session_.Execute("SELECT * FROM ghost").status().IsNotFound());
+  EXPECT_TRUE(session_.Execute("SELECT nope FROM t").status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SqlTest, ExplicitTransactionCommitAndRollback) {
+  Must("CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("INSERT INTO t VALUES (1, 10)");
+
+  Must("BEGIN");
+  EXPECT_TRUE(session_.in_transaction());
+  Must("UPDATE t SET v = 20 WHERE id = 1");
+  Must("ROLLBACK");
+  EXPECT_EQ(Must("SELECT v FROM t WHERE id = 1").rows[0][0], Value(10));
+
+  Must("BEGIN");
+  Must("UPDATE t SET v = 30 WHERE id = 1");
+  Must("COMMIT");
+  EXPECT_EQ(Must("SELECT v FROM t WHERE id = 1").rows[0][0], Value(30));
+}
+
+TEST_F(SqlTest, FailedStatementPoisonsExplicitTransaction) {
+  Must("CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("INSERT INTO t VALUES (1, 10)");
+  Must("BEGIN");
+  Must("UPDATE t SET v = 99 WHERE id = 1");
+  // Duplicate insert fails and rolls the transaction back.
+  auto bad = session_.Execute("INSERT INTO t VALUES (1, 0)");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(session_.in_transaction());
+  EXPECT_EQ(Must("SELECT v FROM t WHERE id = 1").rows[0][0], Value(10));
+}
+
+TEST_F(SqlTest, ShowTables) {
+  Must("CREATE TABLE alpha (id INT NOT NULL, PRIMARY KEY (id))");
+  Must("CREATE TABLE beta (id INT NOT NULL, PRIMARY KEY (id))");
+  Must("INSERT INTO beta VALUES (1)");
+  auto rs = Must("SHOW TABLES");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value("alpha"));
+  EXPECT_EQ(rs.rows[1], Row({"beta", 1}));
+}
+
+TEST_F(SqlTest, ResultSetRendering) {
+  Must("CREATE TABLE t (id INT NOT NULL, name TEXT, PRIMARY KEY (id))");
+  Must("INSERT INTO t VALUES (1, 'ada')");
+  auto rs = Must("SELECT * FROM t");
+  const std::string rendered = rs.ToString();
+  EXPECT_NE(rendered.find("| id | name  |"), std::string::npos);
+  EXPECT_NE(rendered.find("| 1  | 'ada' |"), std::string::npos);
+}
+
+TEST_F(SqlTest, ScriptExecution) {
+  auto rs = session_.ExecuteScript(R"sql(
+    CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id));
+    INSERT INTO t VALUES (1, 1), (2, 2);
+    UPDATE t SET v = 5 WHERE id = 2;
+    SELECT * FROM t WHERE id = 2;
+  )sql");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0], Row({2, 5}));
+}
+
+// --- online transformations via SQL ---------------------------------------------
+
+TEST_F(SqlTest, TransformSplitEndToEnd) {
+  Must(
+      "CREATE TABLE customers (id INT NOT NULL, name TEXT, zip INT, city TEXT,"
+      " PRIMARY KEY (id))");
+  Must(
+      "INSERT INTO customers VALUES (1, 'Peter', 7050, 'Trondheim'), "
+      "(2, 'Mark', 5020, 'Bergen'), (3, 'Jen', 7050, 'Trondheim')");
+  Must(
+      "TRANSFORM SPLIT customers INTO slim (id, name, zip), loc (zip, city) "
+      "ON (zip) WITH KEEP SOURCES");
+  // Writes against the source keep working while it runs.
+  for (int i = 0; i < 20; ++i) {
+    auto r = session_.Execute("UPDATE customers SET name = 'P2' WHERE id = 1");
+    if (!r.ok()) break;
+  }
+  auto finish = Must("TRANSFORM FINISH");
+  EXPECT_NE(finish.message.find("completed"), std::string::npos)
+      << finish.message;
+  auto loc = Must("SELECT * FROM loc WHERE zip = 7050");
+  ASSERT_EQ(loc.rows.size(), 1u);
+  EXPECT_EQ(loc.rows[0][1], Value("Trondheim"));
+  auto slim = Must("SELECT * FROM slim");
+  EXPECT_EQ(slim.rows.size(), 3u);
+}
+
+TEST_F(SqlTest, TransformJoinEndToEnd) {
+  Must("CREATE TABLE emp (id INT NOT NULL, d INT, PRIMARY KEY (id))");
+  Must("CREATE TABLE dept (d INT NOT NULL, name TEXT, PRIMARY KEY (d))");
+  Must("INSERT INTO emp VALUES (1, 10), (2, 20)");
+  Must("INSERT INTO dept VALUES (10, 'eng'), (30, 'hr')");
+  Must("TRANSFORM JOIN emp, dept ON emp.d = dept.d INTO emp_dept "
+       "WITH KEEP SOURCES, STRATEGY ABORT");
+  Must("TRANSFORM FINISH");
+  auto rs = Must("SELECT * FROM emp_dept");
+  EXPECT_EQ(rs.rows.size(), 3u);  // 1 match, 1 emp-only, 1 dept-only
+}
+
+TEST_F(SqlTest, TransformMergeViaSql) {
+  Must("CREATE TABLE a (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("CREATE TABLE b (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("INSERT INTO a VALUES (1, 1)");
+  Must("INSERT INTO b VALUES (100, 2)");
+  Must("TRANSFORM MERGE a, b INTO c WITH KEEP SOURCES");
+  Must("TRANSFORM FINISH");
+  EXPECT_EQ(Must("SELECT * FROM c").rows.size(), 2u);
+}
+
+TEST_F(SqlTest, TransformHsplitViaSql) {
+  Must("CREATE TABLE orders (id INT NOT NULL, status INT, PRIMARY KEY (id))");
+  Must("INSERT INTO orders VALUES (1, 0), (2, 3), (3, 1)");
+  Must("TRANSFORM HSPLIT orders INTO active, done WHERE status < 2 "
+       "WITH KEEP SOURCES");
+  Must("TRANSFORM FINISH");
+  EXPECT_EQ(Must("SELECT * FROM active").rows.size(), 2u);
+  EXPECT_EQ(Must("SELECT * FROM done").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, OnlyOneTransformAtATime) {
+  Must("CREATE TABLE a (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("CREATE TABLE b (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("TRANSFORM MERGE a, b INTO c WITH KEEP SOURCES, CONTINUOUS");
+  auto second = session_.Execute("TRANSFORM MERGE a, b INTO d");
+  EXPECT_TRUE(second.status().IsBusy());
+  auto show = Must("SHOW TRANSFORM");
+  EXPECT_NE(show.message.find("TRANSFORM MERGE"), std::string::npos);
+  Must("TRANSFORM FINISH");
+  auto after = Must("SHOW TRANSFORM");
+  EXPECT_NE(after.message.find("no transformation"), std::string::npos);
+}
+
+TEST_F(SqlTest, TransformAbortViaSql) {
+  Must("CREATE TABLE a (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("CREATE TABLE b (id INT NOT NULL, v INT, PRIMARY KEY (id))");
+  Must("INSERT INTO a VALUES (1, 1)");
+  Must("TRANSFORM MERGE a, b INTO c WITH CONTINUOUS");
+  auto abort = Must("TRANSFORM ABORT");
+  EXPECT_NE(abort.message.find("aborted"), std::string::npos) << abort.message;
+  EXPECT_TRUE(session_.Execute("SELECT * FROM c").status().IsNotFound());
+  EXPECT_EQ(Must("SELECT * FROM a").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, ControlWithoutTransformFails) {
+  EXPECT_TRUE(session_.Execute("TRANSFORM ABORT").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace morph::sql

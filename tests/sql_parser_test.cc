@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace morph::sql {
+namespace {
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasicStatement) {
+  auto tokens = Lex("SELECT a, b FROM t WHERE x >= 10;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 12u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[7].text, "x");
+  EXPECT_EQ((*tokens)[8].text, ">=");
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Lex("'it''s fine'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's fine");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Lex("'oops").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("SELECT -- comment here\n1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, FloatsAndSymbols) {
+  auto tokens = Lex("1.5 <> != <= . ( )");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kFloat);
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[2].text, "!=");
+  EXPECT_EQ((*tokens)[3].text, "<=");
+}
+
+TEST(LexerTest, KeywordEqIsCaseInsensitive) {
+  auto tokens = Lex("select");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(KeywordEq((*tokens)[0], "SELECT"));
+  EXPECT_FALSE(KeywordEq((*tokens)[0], "SELECTS"));
+  EXPECT_FALSE(KeywordEq((*tokens)[0], "SELEC"));
+}
+
+// --- parser ------------------------------------------------------------------
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parser::Parse(
+      "CREATE TABLE t (id INT NOT NULL, name TEXT, score DOUBLE, ok BOOL, "
+      "PRIMARY KEY (id))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& create = std::get<CreateTableStmt>(*stmt);
+  EXPECT_EQ(create.table, "t");
+  ASSERT_EQ(create.columns.size(), 4u);
+  EXPECT_EQ(create.columns[0].type, ValueType::kInt64);
+  EXPECT_FALSE(create.columns[0].nullable);
+  EXPECT_EQ(create.columns[1].type, ValueType::kString);
+  EXPECT_TRUE(create.columns[1].nullable);
+  EXPECT_EQ(create.key_columns, std::vector<std::string>{"id"});
+}
+
+TEST(ParserTest, CreateTableRequiresKey) {
+  EXPECT_TRUE(Parser::Parse("CREATE TABLE t (id INT)")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt = Parser::Parse(
+      "INSERT INTO t (id, name) VALUES (1, 'a'), (2, NULL)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStmt>(*stmt);
+  EXPECT_EQ(ins.columns.size(), 2u);
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[0][1], Value("a"));
+  EXPECT_TRUE(ins.rows[1][1].is_null());
+}
+
+TEST(ParserTest, UpdateWithWhere) {
+  auto stmt = Parser::Parse(
+      "UPDATE t SET a = 5, b = 'x' WHERE id = 3 AND score >= 1.5");
+  ASSERT_TRUE(stmt.ok());
+  const auto& upd = std::get<UpdateStmt>(*stmt);
+  ASSERT_EQ(upd.sets.size(), 2u);
+  ASSERT_EQ(upd.where.size(), 2u);
+  EXPECT_EQ(upd.where[1].op, Condition::Op::kGe);
+  EXPECT_EQ(upd.where[1].literal, Value(1.5));
+}
+
+TEST(ParserTest, SelectStarAndProjection) {
+  auto star = Parser::Parse("SELECT * FROM t LIMIT 5");
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(*star).columns.empty());
+  EXPECT_EQ(std::get<SelectStmt>(*star).limit, size_t{5});
+
+  auto proj = Parser::Parse("SELECT a, b FROM t WHERE c <> 'z'");
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*proj).columns.size(), 2u);
+  EXPECT_EQ(std::get<SelectStmt>(*proj).where[0].op, Condition::Op::kNe);
+}
+
+TEST(ParserTest, TransactionStatements) {
+  EXPECT_TRUE(std::holds_alternative<BeginStmt>(*Parser::Parse("BEGIN")));
+  EXPECT_TRUE(std::holds_alternative<CommitStmt>(*Parser::Parse("commit;")));
+  EXPECT_TRUE(std::holds_alternative<RollbackStmt>(*Parser::Parse("ROLLBACK")));
+}
+
+TEST(ParserTest, TransformJoin) {
+  auto stmt = Parser::Parse(
+      "TRANSFORM JOIN emp, dept ON emp.d = dept.d INTO emp_dept "
+      "WITH PRIORITY 0.25, STRATEGY COMMIT");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& join = std::get<TransformJoinStmt>(*stmt);
+  EXPECT_EQ(join.r_table, "emp");
+  EXPECT_EQ(join.s_column, "d");
+  EXPECT_EQ(join.target, "emp_dept");
+  EXPECT_EQ(*join.options.priority, 0.25);
+  EXPECT_EQ(*join.options.strategy, transform::SyncStrategy::kNonBlockingCommit);
+}
+
+TEST(ParserTest, TransformJoinReversedQualifiers) {
+  auto stmt =
+      Parser::Parse("TRANSFORM JOIN emp, dept ON dept.x = emp.y INTO t");
+  ASSERT_TRUE(stmt.ok());
+  const auto& join = std::get<TransformJoinStmt>(*stmt);
+  EXPECT_EQ(join.r_column, "y");
+  EXPECT_EQ(join.s_column, "x");
+}
+
+TEST(ParserTest, TransformSplit) {
+  auto stmt = Parser::Parse(
+      "TRANSFORM SPLIT customers INTO slim (id, zip), loc (zip, city) "
+      "ON (zip) WITH CHECK CONSISTENCY, REUSE SOURCE");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& split = std::get<TransformSplitStmt>(*stmt);
+  EXPECT_EQ(split.r_name, "slim");
+  EXPECT_EQ(split.s_columns, (std::vector<std::string>{"zip", "city"}));
+  EXPECT_EQ(split.split_columns, std::vector<std::string>{"zip"});
+  EXPECT_TRUE(split.options.check_consistency);
+  EXPECT_TRUE(split.options.reuse_source);
+}
+
+TEST(ParserTest, TransformMergeAndHsplit) {
+  auto merge = Parser::Parse("TRANSFORM MERGE a, b INTO c WITH KEEP SOURCES");
+  ASSERT_TRUE(merge.ok());
+  EXPECT_TRUE(std::get<TransformMergeStmt>(*merge).options.keep_sources);
+
+  auto hsplit = Parser::Parse(
+      "TRANSFORM HSPLIT orders INTO active, done WHERE status < 2 "
+      "WITH CONTINUOUS");
+  ASSERT_TRUE(hsplit.ok());
+  const auto& h = std::get<TransformHsplitStmt>(*hsplit);
+  EXPECT_EQ(h.predicate.column, "status");
+  EXPECT_EQ(h.predicate.op, Condition::Op::kLt);
+  EXPECT_TRUE(h.options.continuous);
+}
+
+TEST(ParserTest, TransformControl) {
+  auto abort = Parser::Parse("TRANSFORM ABORT");
+  ASSERT_TRUE(abort.ok());
+  EXPECT_EQ(std::get<TransformControlStmt>(*abort).what,
+            TransformControlStmt::What::kAbort);
+}
+
+TEST(ParserTest, ErrorsCarryContext) {
+  auto bad = Parser::Parse("SELECT FROM");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("near"), std::string::npos);
+  EXPECT_TRUE(Parser::Parse("FLY ME TO THE MOON").status().IsInvalidArgument());
+  EXPECT_TRUE(Parser::Parse("SELECT * FROM t garbage").status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  auto script = Parser::ParseScript(
+      "BEGIN; INSERT INTO t VALUES (1); COMMIT;");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<BeginStmt>((*script)[0]));
+  EXPECT_TRUE(std::holds_alternative<CommitStmt>((*script)[2]));
+}
+
+}  // namespace
+}  // namespace morph::sql

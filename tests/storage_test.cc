@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace morph::storage {
+namespace {
+
+Schema TwoColSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64, false},
+                        {"val", ValueType::kString, true}},
+                       {"id"});
+}
+
+Record Rec(int64_t id, const std::string& val, Lsn lsn = 1) {
+  Record r;
+  r.row = Row({id, val});
+  r.lsn = lsn;
+  return r;
+}
+
+// --- Table CRUD -------------------------------------------------------------------
+
+TEST(TableTest, InsertGetDelete) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Rec(1, "a")).ok());
+  EXPECT_TRUE(t.Insert(Rec(1, "b")).IsAlreadyExists());
+  auto rec = t.Get(Row({1}));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->row[1], Value("a"));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Contains(Row({1})));
+  ASSERT_TRUE(t.Delete(Row({1})).ok());
+  EXPECT_TRUE(t.Delete(Row({1})).IsNotFound());
+  EXPECT_FALSE(t.Contains(Row({1})));
+}
+
+TEST(TableTest, UpdateReplacesRowAndLsn) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Rec(1, "a", 5)).ok());
+  ASSERT_TRUE(t.Update(Row({1}), Rec(1, "b", 9)).ok());
+  auto rec = t.Get(Row({1}));
+  EXPECT_EQ(rec->row[1], Value("b"));
+  EXPECT_EQ(rec->lsn, 9u);
+  EXPECT_TRUE(t.Update(Row({2}), Rec(2, "x")).IsNotFound());
+  // Key changes are rejected.
+  EXPECT_TRUE(t.Update(Row({1}), Rec(3, "z")).IsInvalidArgument());
+}
+
+TEST(TableTest, MutateAtomicReadModifyWrite) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Rec(1, "a")).ok());
+  ASSERT_TRUE(t.Mutate(Row({1}), [](Record* r) {
+                 r->counter = 42;
+                 r->consistent = false;
+                 return true;
+               }).ok());
+  auto rec = t.Get(Row({1}));
+  EXPECT_EQ(rec->counter, 42);
+  EXPECT_FALSE(rec->consistent);
+  // fn returning false leaves the record unchanged.
+  ASSERT_TRUE(t.Mutate(Row({1}), [](Record* r) {
+                 r->counter = 99;
+                 return false;
+               }).ok());
+  EXPECT_EQ(t.Get(Row({1}))->counter, 42);
+  EXPECT_TRUE(t.Mutate(Row({7}), [](Record*) { return true; }).IsNotFound());
+}
+
+TEST(TableTest, FuzzyScanSeesAllQuiescentRecords) {
+  Table t(1, "t", TwoColSchema());
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(t.Insert(Rec(i, "v")).ok());
+  size_t n = 0;
+  t.FuzzyScan([&](const Record&) { n++; });
+  EXPECT_EQ(n, 1000u);
+}
+
+TEST(TableTest, FuzzyScanToleratesConcurrentWriters) {
+  Table t(1, "t", TwoColSchema());
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.Insert(Rec(i, "v")).ok());
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 2000;
+    while (!stop.load()) {
+      (void)t.Insert(Rec(i, "w"));
+      (void)t.Delete(Row({i - 1000}));
+      (void)t.Mutate(Row({i % 500}), [](Record* r) {
+        r->row[1] = Value("mut");
+        return true;
+      });
+      ++i;
+    }
+  });
+  for (int round = 0; round < 30; ++round) {
+    size_t n = 0;
+    t.FuzzyScan([&](const Record& rec) {
+      // Records are never torn: each row still has 2 columns and an int key.
+      ASSERT_EQ(rec.row.size(), 2u);
+      ASSERT_EQ(rec.row[0].type(), ValueType::kInt64);
+      n++;
+    });
+    EXPECT_GT(n, 0u);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --- Secondary indexes -----------------------------------------------------------------
+
+TEST(TableTest, IndexMaintainedAcrossCrud) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_val", {"val"}).ok());
+  SecondaryIndex* idx = t.GetIndex("by_val");
+  ASSERT_NE(idx, nullptr);
+
+  ASSERT_TRUE(t.Insert(Rec(1, "x")).ok());
+  ASSERT_TRUE(t.Insert(Rec(2, "x")).ok());
+  ASSERT_TRUE(t.Insert(Rec(3, "y")).ok());
+  EXPECT_EQ(idx->Count(Row({"x"})), 2u);
+  EXPECT_EQ(idx->Count(Row({"y"})), 1u);
+
+  ASSERT_TRUE(t.Update(Row({1}), Rec(1, "y")).ok());
+  EXPECT_EQ(idx->Count(Row({"x"})), 1u);
+  EXPECT_EQ(idx->Count(Row({"y"})), 2u);
+
+  ASSERT_TRUE(t.Delete(Row({3})).ok());
+  EXPECT_EQ(idx->Count(Row({"y"})), 1u);
+  auto pks = idx->Lookup(Row({"y"}));
+  ASSERT_EQ(pks.size(), 1u);
+  EXPECT_EQ(pks[0], Row({1}));
+}
+
+TEST(TableTest, IndexBackfillsExistingRecords) {
+  Table t(1, "t", TwoColSchema());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(t.Insert(Rec(i, i % 2 ? "a" : "b")).ok());
+  ASSERT_TRUE(t.CreateIndex("by_val", {"val"}).ok());
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"a"})), 50u);
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"b"})), 50u);
+}
+
+TEST(TableTest, IndexMutateMaintainsEntries) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_val", {"val"}).ok());
+  ASSERT_TRUE(t.Insert(Rec(1, "x")).ok());
+  ASSERT_TRUE(t.Mutate(Row({1}), [](Record* r) {
+                 r->row[1] = Value("z");
+                 return true;
+               }).ok());
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"x"})), 0u);
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"z"})), 1u);
+}
+
+TEST(TableTest, DuplicateIndexRejected) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("i", {"val"}).ok());
+  EXPECT_TRUE(t.CreateIndex("i", {"val"}).IsAlreadyExists());
+  EXPECT_TRUE(t.CreateIndex("j", {"nope"}).IsInvalidArgument());
+  EXPECT_EQ(t.GetIndex("missing"), nullptr);
+}
+
+TEST(IndexTest, AddIsDeduplicating) {
+  SecondaryIndex idx("i", {0});
+  idx.Add(Row({1}), Row({10}));
+  idx.Add(Row({1}), Row({10}));
+  idx.Add(Row({1}), Row({11}));
+  EXPECT_EQ(idx.Count(Row({1})), 2u);
+  idx.Remove(Row({1}), Row({10}));
+  EXPECT_EQ(idx.Count(Row({1})), 1u);
+  idx.Remove(Row({1}), Row({11}));
+  EXPECT_EQ(idx.Count(Row({1})), 0u);
+  EXPECT_TRUE(idx.Lookup(Row({1})).empty());
+}
+
+// --- NULL keys in index (padding records) -------------------------------------------------
+
+TEST(IndexTest, NullKeysGroupTogether) {
+  SecondaryIndex idx("i", {0});
+  idx.Add(Row({Value::Null()}), Row({1}));
+  idx.Add(Row({Value::Null()}), Row({2}));
+  EXPECT_EQ(idx.Count(Row({Value::Null()})), 2u);
+}
+
+// --- Catalog -------------------------------------------------------------------------------
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  auto t = cat.CreateTable("users", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "users");
+  EXPECT_EQ(cat.GetByName("users"), *t);
+  EXPECT_EQ(cat.GetById((*t)->id()), *t);
+  EXPECT_TRUE(cat.CreateTable("users", TwoColSchema()).status().IsAlreadyExists());
+  EXPECT_TRUE(cat.DropTable("users").ok());
+  EXPECT_EQ(cat.GetByName("users"), nullptr);
+  EXPECT_TRUE(cat.DropTable("users").IsNotFound());
+}
+
+TEST(CatalogTest, DroppedTableSurvivesViaSharedPtr) {
+  Catalog cat;
+  auto t = *cat.CreateTable("tmp", TwoColSchema());
+  ASSERT_TRUE(t->Insert(Rec(1, "a")).ok());
+  ASSERT_TRUE(cat.DropTable("tmp").ok());
+  // A holder (e.g. a propagator mid-scan) can still use the storage.
+  EXPECT_EQ(t->size(), 1u);
+}
+
+TEST(CatalogTest, RenameTable) {
+  Catalog cat;
+  auto t = *cat.CreateTable("old", TwoColSchema());
+  ASSERT_TRUE(cat.RenameTable("old", "new").ok());
+  EXPECT_EQ(cat.GetByName("old"), nullptr);
+  EXPECT_EQ(cat.GetByName("new"), t);
+  EXPECT_EQ(t->name(), "new");
+  auto other = cat.CreateTable("other", TwoColSchema());
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(cat.RenameTable("new", "other").IsAlreadyExists());
+  EXPECT_TRUE(cat.RenameTable("ghost", "x").IsNotFound());
+}
+
+TEST(CatalogTest, IdsAreUniqueAndIncreasing) {
+  Catalog cat;
+  auto a = *cat.CreateTable("a", TwoColSchema());
+  auto b = *cat.CreateTable("b", TwoColSchema());
+  EXPECT_LT(a->id(), b->id());
+  EXPECT_EQ(cat.num_tables(), 2u);
+  EXPECT_EQ(cat.TableNames().size(), 2u);
+}
+
+TEST(TableTest, ClearEmptiesTableAndIndexes) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("i", {"val"}).ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Insert(Rec(i, "v")).ok());
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.GetIndex("i")->Count(Row({"v"})), 0u);
+}
+
+TEST(TableTest, CompositeKeys) {
+  auto schema = *Schema::Make({{"a", ValueType::kInt64, false},
+                               {"b", ValueType::kString, false},
+                               {"v", ValueType::kInt64, true}},
+                              {"a", "b"});
+  Table t(1, "t", std::move(schema));
+  Record r1;
+  r1.row = Row({1, "x", 7});
+  ASSERT_TRUE(t.Insert(r1).ok());
+  Record r2;
+  r2.row = Row({1, "y", 8});
+  ASSERT_TRUE(t.Insert(r2).ok());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.Contains(Row({1, "x"})));
+  EXPECT_TRUE(t.Contains(Row({1, "y"})));
+  EXPECT_FALSE(t.Contains(Row({1, "z"})));
+}
+
+}  // namespace
+}  // namespace morph::storage

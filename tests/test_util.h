@@ -1,0 +1,66 @@
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "storage/table.h"
+
+namespace morph::testing {
+
+/// \brief Collects a table's rows as a sorted vector for order-insensitive
+/// comparison.
+inline std::vector<Row> SortedRows(const storage::Table& table) {
+  std::vector<Row> rows;
+  table.ForEach([&](const storage::Record& rec) { rows.push_back(rec.row); });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+inline std::vector<Row> Sorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// \brief Renders a row vector for gtest failure messages.
+inline std::string RowsToString(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& r : rows) {
+    out += "  " + r.ToString() + "\n";
+  }
+  return out;
+}
+
+/// \brief Schema of a simple R(id KEY, jv, payload) source table used across
+/// the FOJ tests: `jv` is the join attribute, `payload` an updatable filler.
+inline Schema RSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64, false},
+                        {"jv", ValueType::kInt64, true},
+                        {"payload", ValueType::kString, true}},
+                       {"id"});
+}
+
+/// \brief Schema of S(sid KEY, jv, info): `jv` is the join attribute, unique
+/// in one-to-many scenarios but deliberately *not* the primary key, so it
+/// can be updated (paper rule 6).
+inline Schema SSchema() {
+  return *Schema::Make({{"sid", ValueType::kInt64, false},
+                        {"jv", ValueType::kInt64, true},
+                        {"info", ValueType::kString, true}},
+                       {"sid"});
+}
+
+/// \brief Schema of a T(id KEY, zip, city, body) split source: split on
+/// `zip` into R(id, zip, body) and S(zip, city).
+inline Schema TSplitSchema() {
+  return *Schema::Make({{"id", ValueType::kInt64, false},
+                        {"zip", ValueType::kInt64, true},
+                        {"city", ValueType::kString, true},
+                        {"body", ValueType::kString, true}},
+                       {"id"});
+}
+
+}  // namespace morph::testing
