@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_baseline.dir/blocking_baseline.cc.o"
+  "CMakeFiles/blocking_baseline.dir/blocking_baseline.cc.o.d"
+  "blocking_baseline"
+  "blocking_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_checker.dir/consistency_checker.cc.o"
+  "CMakeFiles/consistency_checker.dir/consistency_checker.cc.o.d"
+  "consistency_checker"
+  "consistency_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

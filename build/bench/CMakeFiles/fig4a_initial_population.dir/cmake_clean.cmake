@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_initial_population.dir/fig4a_initial_population.cc.o"
+  "CMakeFiles/fig4a_initial_population.dir/fig4a_initial_population.cc.o.d"
+  "fig4a_initial_population"
+  "fig4a_initial_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_initial_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

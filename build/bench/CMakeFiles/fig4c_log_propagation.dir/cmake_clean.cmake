@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_log_propagation.dir/fig4c_log_propagation.cc.o"
+  "CMakeFiles/fig4c_log_propagation.dir/fig4c_log_propagation.cc.o.d"
+  "fig4c_log_propagation"
+  "fig4c_log_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_log_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_priority.dir/fig4d_priority.cc.o"
+  "CMakeFiles/fig4d_priority.dir/fig4d_priority.cc.o.d"
+  "fig4d_priority"
+  "fig4d_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foj_interference.dir/foj_interference.cc.o"
+  "CMakeFiles/foj_interference.dir/foj_interference.cc.o.d"
+  "foj_interference"
+  "foj_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foj_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_bench_harness.dir/harness/workload.cc.o"
+  "CMakeFiles/morph_bench_harness.dir/harness/workload.cc.o.d"
+  "libmorph_bench_harness.a"
+  "libmorph_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

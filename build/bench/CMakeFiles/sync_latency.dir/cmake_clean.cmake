@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_latency.dir/sync_latency.cc.o"
+  "CMakeFiles/sync_latency.dir/sync_latency.cc.o.d"
+  "sync_latency"
+  "sync_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/customer_split.dir/customer_split.cpp.o"
+  "CMakeFiles/customer_split.dir/customer_split.cpp.o.d"
+  "customer_split"
+  "customer_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/customer_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

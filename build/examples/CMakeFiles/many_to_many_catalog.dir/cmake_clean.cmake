@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/many_to_many_catalog.dir/many_to_many_catalog.cpp.o"
+  "CMakeFiles/many_to_many_catalog.dir/many_to_many_catalog.cpp.o.d"
+  "many_to_many_catalog"
+  "many_to_many_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/many_to_many_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for many_to_many_catalog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/morph_shell.cpp" "examples/CMakeFiles/morph_shell.dir/morph_shell.cpp.o" "gcc" "examples/CMakeFiles/morph_shell.dir/morph_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/morph_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/morph_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/morph_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/morph_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/morph_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/morph_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/morph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_shell.dir/morph_shell.cpp.o"
+  "CMakeFiles/morph_shell.dir/morph_shell.cpp.o.d"
+  "morph_shell"
+  "morph_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_archive.dir/partition_archive.cpp.o"
+  "CMakeFiles/partition_archive.dir/partition_archive.cpp.o.d"
+  "partition_archive"
+  "partition_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reporting_view.dir/reporting_view.cpp.o"
+  "CMakeFiles/reporting_view.dir/reporting_view.cpp.o.d"
+  "reporting_view"
+  "reporting_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reporting_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

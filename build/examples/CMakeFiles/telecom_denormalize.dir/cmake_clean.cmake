@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_denormalize.dir/telecom_denormalize.cpp.o"
+  "CMakeFiles/telecom_denormalize.dir/telecom_denormalize.cpp.o.d"
+  "telecom_denormalize"
+  "telecom_denormalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_denormalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_common.dir/codec.cc.o"
+  "CMakeFiles/morph_common.dir/codec.cc.o.d"
+  "CMakeFiles/morph_common.dir/relops.cc.o"
+  "CMakeFiles/morph_common.dir/relops.cc.o.d"
+  "CMakeFiles/morph_common.dir/row.cc.o"
+  "CMakeFiles/morph_common.dir/row.cc.o.d"
+  "CMakeFiles/morph_common.dir/schema.cc.o"
+  "CMakeFiles/morph_common.dir/schema.cc.o.d"
+  "CMakeFiles/morph_common.dir/status.cc.o"
+  "CMakeFiles/morph_common.dir/status.cc.o.d"
+  "CMakeFiles/morph_common.dir/value.cc.o"
+  "CMakeFiles/morph_common.dir/value.cc.o.d"
+  "libmorph_common.a"
+  "libmorph_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

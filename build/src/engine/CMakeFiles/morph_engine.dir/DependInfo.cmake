@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/blocking_transform.cc" "src/engine/CMakeFiles/morph_engine.dir/blocking_transform.cc.o" "gcc" "src/engine/CMakeFiles/morph_engine.dir/blocking_transform.cc.o.d"
+  "/root/repo/src/engine/checkpoint.cc" "src/engine/CMakeFiles/morph_engine.dir/checkpoint.cc.o" "gcc" "src/engine/CMakeFiles/morph_engine.dir/checkpoint.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/morph_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/morph_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/recovery.cc" "src/engine/CMakeFiles/morph_engine.dir/recovery.cc.o" "gcc" "src/engine/CMakeFiles/morph_engine.dir/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morph_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/morph_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/morph_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/morph_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_engine.dir/blocking_transform.cc.o"
+  "CMakeFiles/morph_engine.dir/blocking_transform.cc.o.d"
+  "CMakeFiles/morph_engine.dir/checkpoint.cc.o"
+  "CMakeFiles/morph_engine.dir/checkpoint.cc.o.d"
+  "CMakeFiles/morph_engine.dir/database.cc.o"
+  "CMakeFiles/morph_engine.dir/database.cc.o.d"
+  "CMakeFiles/morph_engine.dir/recovery.cc.o"
+  "CMakeFiles/morph_engine.dir/recovery.cc.o.d"
+  "libmorph_engine.a"
+  "libmorph_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_sql.dir/executor.cc.o"
+  "CMakeFiles/morph_sql.dir/executor.cc.o.d"
+  "CMakeFiles/morph_sql.dir/lexer.cc.o"
+  "CMakeFiles/morph_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/morph_sql.dir/parser.cc.o"
+  "CMakeFiles/morph_sql.dir/parser.cc.o.d"
+  "libmorph_sql.a"
+  "libmorph_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmorph_sql.a"
+)

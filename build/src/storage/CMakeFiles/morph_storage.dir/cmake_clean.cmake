@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_storage.dir/catalog.cc.o"
+  "CMakeFiles/morph_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/morph_storage.dir/index.cc.o"
+  "CMakeFiles/morph_storage.dir/index.cc.o.d"
+  "CMakeFiles/morph_storage.dir/snapshot.cc.o"
+  "CMakeFiles/morph_storage.dir/snapshot.cc.o.d"
+  "CMakeFiles/morph_storage.dir/table.cc.o"
+  "CMakeFiles/morph_storage.dir/table.cc.o.d"
+  "libmorph_storage.a"
+  "libmorph_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

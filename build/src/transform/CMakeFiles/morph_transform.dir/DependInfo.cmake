@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/coordinator.cc" "src/transform/CMakeFiles/morph_transform.dir/coordinator.cc.o" "gcc" "src/transform/CMakeFiles/morph_transform.dir/coordinator.cc.o.d"
+  "/root/repo/src/transform/foj.cc" "src/transform/CMakeFiles/morph_transform.dir/foj.cc.o" "gcc" "src/transform/CMakeFiles/morph_transform.dir/foj.cc.o.d"
+  "/root/repo/src/transform/hsplit.cc" "src/transform/CMakeFiles/morph_transform.dir/hsplit.cc.o" "gcc" "src/transform/CMakeFiles/morph_transform.dir/hsplit.cc.o.d"
+  "/root/repo/src/transform/merge.cc" "src/transform/CMakeFiles/morph_transform.dir/merge.cc.o" "gcc" "src/transform/CMakeFiles/morph_transform.dir/merge.cc.o.d"
+  "/root/repo/src/transform/op.cc" "src/transform/CMakeFiles/morph_transform.dir/op.cc.o" "gcc" "src/transform/CMakeFiles/morph_transform.dir/op.cc.o.d"
+  "/root/repo/src/transform/split.cc" "src/transform/CMakeFiles/morph_transform.dir/split.cc.o" "gcc" "src/transform/CMakeFiles/morph_transform.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/morph_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/morph_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/morph_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/morph_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/morph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

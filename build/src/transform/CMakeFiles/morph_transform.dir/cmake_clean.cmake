@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_transform.dir/coordinator.cc.o"
+  "CMakeFiles/morph_transform.dir/coordinator.cc.o.d"
+  "CMakeFiles/morph_transform.dir/foj.cc.o"
+  "CMakeFiles/morph_transform.dir/foj.cc.o.d"
+  "CMakeFiles/morph_transform.dir/hsplit.cc.o"
+  "CMakeFiles/morph_transform.dir/hsplit.cc.o.d"
+  "CMakeFiles/morph_transform.dir/merge.cc.o"
+  "CMakeFiles/morph_transform.dir/merge.cc.o.d"
+  "CMakeFiles/morph_transform.dir/op.cc.o"
+  "CMakeFiles/morph_transform.dir/op.cc.o.d"
+  "CMakeFiles/morph_transform.dir/split.cc.o"
+  "CMakeFiles/morph_transform.dir/split.cc.o.d"
+  "libmorph_transform.a"
+  "libmorph_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/morph_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/morph_txn.dir/transform_locks.cc.o"
+  "CMakeFiles/morph_txn.dir/transform_locks.cc.o.d"
+  "CMakeFiles/morph_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/morph_txn.dir/txn_manager.cc.o.d"
+  "libmorph_txn.a"
+  "libmorph_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

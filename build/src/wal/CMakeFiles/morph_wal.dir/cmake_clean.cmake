@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_wal.dir/log_record.cc.o"
+  "CMakeFiles/morph_wal.dir/log_record.cc.o.d"
+  "CMakeFiles/morph_wal.dir/wal.cc.o"
+  "CMakeFiles/morph_wal.dir/wal.cc.o.d"
+  "libmorph_wal.a"
+  "libmorph_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foj_rules_test.dir/foj_rules_test.cc.o"
+  "CMakeFiles/foj_rules_test.dir/foj_rules_test.cc.o.d"
+  "foj_rules_test"
+  "foj_rules_test.pdb"
+  "foj_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foj_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsplit_rules_test.dir/hsplit_rules_test.cc.o"
+  "CMakeFiles/hsplit_rules_test.dir/hsplit_rules_test.cc.o.d"
+  "hsplit_rules_test"
+  "hsplit_rules_test.pdb"
+  "hsplit_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsplit_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

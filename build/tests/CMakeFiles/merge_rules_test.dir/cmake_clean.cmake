@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_rules_test.dir/merge_rules_test.cc.o"
+  "CMakeFiles/merge_rules_test.dir/merge_rules_test.cc.o.d"
+  "merge_rules_test"
+  "merge_rules_test.pdb"
+  "merge_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigranularity_test.dir/multigranularity_test.cc.o"
+  "CMakeFiles/multigranularity_test.dir/multigranularity_test.cc.o.d"
+  "multigranularity_test"
+  "multigranularity_test.pdb"
+  "multigranularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigranularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relops_property_test.dir/relops_property_test.cc.o"
+  "CMakeFiles/relops_property_test.dir/relops_property_test.cc.o.d"
+  "relops_property_test"
+  "relops_property_test.pdb"
+  "relops_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relops_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_alternative_test.dir/split_alternative_test.cc.o"
+  "CMakeFiles/split_alternative_test.dir/split_alternative_test.cc.o.d"
+  "split_alternative_test"
+  "split_alternative_test.pdb"
+  "split_alternative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_alternative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

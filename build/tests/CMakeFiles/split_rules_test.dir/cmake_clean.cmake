@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_rules_test.dir/split_rules_test.cc.o"
+  "CMakeFiles/split_rules_test.dir/split_rules_test.cc.o.d"
+  "split_rules_test"
+  "split_rules_test.pdb"
+  "split_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_integration_test.dir/transform_integration_test.cc.o"
+  "CMakeFiles/transform_integration_test.dir/transform_integration_test.cc.o.d"
+  "transform_integration_test"
+  "transform_integration_test.pdb"
+  "transform_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

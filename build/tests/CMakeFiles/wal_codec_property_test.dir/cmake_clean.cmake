@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_codec_property_test.dir/wal_codec_property_test.cc.o"
+  "CMakeFiles/wal_codec_property_test.dir/wal_codec_property_test.cc.o.d"
+  "wal_codec_property_test"
+  "wal_codec_property_test.pdb"
+  "wal_codec_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_codec_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/foj_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/split_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/op_test[1]_include.cmake")
+include("/root/repo/build/tests/relops_property_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/split_alternative_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/hsplit_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/materialized_view_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/multigranularity_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_codec_property_test[1]_include.cmake")
