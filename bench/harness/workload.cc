@@ -101,6 +101,10 @@ void Workload::ClientLoop(size_t thread_idx) {
 
     const auto txn_start = Clock::Now();
     auto txn = config_.db->Begin();
+    if (config_.stop_on_epoch && txn->epoch() > 0) {
+      (void)config_.db->Abort(txn);
+      break;
+    }
     bool ok = true;
     for (size_t u = 0; u < config_.updates_per_txn && ok; ++u) {
       const double pick = rng.NextDouble() * total;

@@ -38,6 +38,11 @@ struct WorkloadConfig {
   /// calibrated peak (see DESIGN.md substitutions).
   double target_tps = 0;
   uint64_t seed = 42;
+  /// Stop a client thread when a freshly begun transaction carries a
+  /// non-zero epoch — i.e. a schema transformation has gated or switched
+  /// the tables this workload updates. Lets a test drive traffic "until
+  /// the switch-over" without busy-looping on doomed transactions.
+  bool stop_on_epoch = false;
 };
 
 /// \brief Latency histogram with ~24 logarithmic buckets (1 µs .. 8 s).

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace morph {
+
+/// \brief Thrown by a *crash* failpoint to simulate instantaneous process
+/// death at the site. It unwinds the faulting thread's stack (releasing RAII
+/// latches exactly as a real crash discards them) and is caught by the test
+/// harness at the Database boundary, which then treats the serialized WAL as
+/// the only surviving state — everything else belongs to the dead
+/// incarnation and is abandoned.
+class CrashException : public std::exception {
+ public:
+  explicit CrashException(std::string point)
+      : point_(std::move(point)),
+        msg_("simulated crash at failpoint '" + point_ + "'") {}
+
+  const char* what() const noexcept override { return msg_.c_str(); }
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+  std::string msg_;
+};
+
+namespace failpoint_internal {
+/// Number of armed failpoint configurations (plus one while tracing). The
+/// macros take the slow path only when this is non-zero, so a disabled
+/// failpoint costs a single relaxed atomic load.
+extern std::atomic<int> g_armed;
+}  // namespace failpoint_internal
+
+/// \brief Deterministic fault-injection registry.
+///
+/// Code declares named sites with MORPH_FAILPOINT("layer.component.event");
+/// tests (or the MORPH_FAILPOINTS environment variable) arm a site with an
+/// action:
+///
+///  - **crash**: throw CrashException — simulated process death; the WAL is
+///    the only durable state the next incarnation sees.
+///  - **error**: return an injected Status from the enclosing function.
+///  - **delay**: sleep for a configured duration, widening race windows.
+///
+/// Actions can be *count-gated*: fire starting at the Nth hit of the site
+/// (`fire_on_hit`) and at most `max_fires` times. Sites self-register on
+/// first evaluation; with tracing enabled every site records hit counts even
+/// when no action is armed, which is how the crash-matrix harness discovers
+/// the set of failpoints a given code path actually crosses.
+///
+/// Naming convention: `<layer>.<component>.<event>`, lower-case, e.g.
+/// `wal.append`, `storage.table.insert`, `transform.sync.latched`.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class Failpoints {
+ public:
+  enum class Action : uint8_t { kOff, kCrash, kError, kDelay };
+
+  struct Config {
+    Action action = Action::kOff;
+    /// kError: the Status returned from the enclosing function.
+    Status error = Status::Internal("injected failpoint error");
+    /// kDelay: how long Evaluate sleeps.
+    int64_t delay_micros = 0;
+    /// 1-based hit ordinal at which the action starts firing (1 = first hit).
+    uint64_t fire_on_hit = 1;
+    /// Stop firing after this many fires; -1 = unlimited.
+    int64_t max_fires = -1;
+  };
+
+  /// \brief The process-wide registry. The first call applies the
+  /// MORPH_FAILPOINTS environment variable if set.
+  static Failpoints& Instance();
+
+  void Enable(const std::string& name, Config config);
+  /// Convenience arming helpers.
+  void Crash(const std::string& name, uint64_t fire_on_hit = 1);
+  void Error(const std::string& name, Status error, uint64_t fire_on_hit = 1);
+  void Delay(const std::string& name, int64_t micros);
+  void Disable(const std::string& name);
+  /// Disarms every site (hit/fire counters are kept; see ResetCounters).
+  void DisableAll();
+
+  /// \brief While tracing, every site evaluation is recorded even with no
+  /// action armed — used to enumerate the failpoints a code path crosses.
+  void SetTracing(bool on);
+
+  /// \brief Parses and applies a spec string:
+  ///   site=action[;site=action...]
+  /// where action is one of
+  ///   crash | error | error(CODE) | delay(MICROS)
+  /// optionally suffixed with @N (fire on the Nth hit) and *M (max fires),
+  /// e.g. "wal.append=crash@3;storage.table.insert=error(io)*1".
+  /// CODE is one of: io, corruption, internal, busy, aborted, notfound.
+  Status ConfigureFromString(const std::string& spec);
+  /// Applies the MORPH_FAILPOINTS environment variable (no-op when unset).
+  Status ConfigureFromEnv();
+
+  uint64_t hits(const std::string& name) const;
+  uint64_t fires(const std::string& name) const;
+  /// Zeroes all hit/fire counters (armed configurations are kept).
+  void ResetCounters();
+  /// Names of known sites (registered by evaluation) starting with `prefix`.
+  std::vector<std::string> SitesMatching(const std::string& prefix) const;
+  /// Known sites with at least one recorded hit, starting with `prefix`.
+  std::vector<std::string> HitSitesMatching(const std::string& prefix) const;
+
+  /// \brief Slow path behind the macros: records the hit and performs the
+  /// armed action, if any. Throws CrashException for kCrash; returns the
+  /// injected Status for kError; sleeps for kDelay.
+  Status Evaluate(const char* name);
+
+  /// \brief Macro fast path: true iff any action is armed or tracing is on.
+  static bool armed() {
+    return failpoint_internal::g_armed.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  Failpoints() = default;
+
+  struct Site {
+    Config config;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  void RecomputeArmed();  // callers hold mu_
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+  bool tracing_ = false;
+};
+
+}  // namespace morph
+
+/// \brief Declares a failpoint in a function returning Status (or Result<T>,
+/// which converts implicitly). Near zero-cost when nothing is armed: a
+/// single relaxed atomic load.
+#define MORPH_FAILPOINT(name)                                       \
+  do {                                                              \
+    if (::morph::Failpoints::armed()) {                             \
+      ::morph::Status _morph_fp_status =                            \
+          ::morph::Failpoints::Instance().Evaluate(name);           \
+      if (!_morph_fp_status.ok()) return _morph_fp_status;          \
+    }                                                               \
+  } while (false)
+
+/// \brief Failpoint for contexts that cannot return a Status (void or
+/// value-returning functions): crash and delay actions apply, injected
+/// errors are ignored.
+#define MORPH_FAILPOINT_VOID(name)                                  \
+  do {                                                              \
+    if (::morph::Failpoints::armed()) {                             \
+      (void)::morph::Failpoints::Instance().Evaluate(name);         \
+    }                                                               \
+  } while (false)

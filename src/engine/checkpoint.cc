@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/codec.h"
+#include "common/failpoint.h"
 #include "engine/recovery.h"
 #include "storage/snapshot.h"
 
@@ -95,6 +96,7 @@ Status GatedRedo(const wal::LogRecord& rec, storage::Table* table,
 
 Result<CheckpointMeta> Checkpointer::Write(Database* db,
                                            const std::string& dir) {
+  MORPH_FAILPOINT("engine.checkpoint.write");
   CheckpointMeta meta;
   // Order matters: the WAL guard and the active-transaction table are
   // captured before the (fuzzy) scans, so anything the scans miss is at an
@@ -160,6 +162,7 @@ Result<CheckpointMeta> Checkpointer::ReadMeta(const std::string& dir) {
 Result<Checkpointer::Stats> Checkpointer::Restore(const std::string& dir,
                                                   wal::Wal* wal,
                                                   storage::Catalog* catalog) {
+  MORPH_FAILPOINT("engine.checkpoint.restore");
   MORPH_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadMeta(dir));
   Stats stats;
 

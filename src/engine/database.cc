@@ -2,6 +2,8 @@
 
 #include <shared_mutex>
 
+#include "common/failpoint.h"
+
 namespace morph::engine {
 
 Database::Database(DatabaseOptions options)
@@ -203,6 +205,9 @@ Status Database::Insert(const TxnPtr& t, storage::Table* table, Row row) {
   rec.after = row;
   const Lsn lsn = wal_.Append(std::move(rec));
   t->set_last_lsn(lsn);
+  // Crash window: the insert is logged but not yet applied — restart
+  // recovery must redo it (or undo it if the transaction never committed).
+  MORPH_FAILPOINT("engine.insert.after_log");
 
   storage::Record record;
   record.row = std::move(row);
@@ -227,6 +232,7 @@ Status Database::Delete(const TxnPtr& t, storage::Table* table, const Row& key) 
   rec.before = existing->row;
   const Lsn lsn = wal_.Append(std::move(rec));
   t->set_last_lsn(lsn);
+  MORPH_FAILPOINT("engine.delete.after_log");
 
   return table->Delete(key);
 }
@@ -263,6 +269,7 @@ Status Database::Update(const TxnPtr& t, storage::Table* table, const Row& key,
   }
   const Lsn lsn = wal_.Append(std::move(rec));
   t->set_last_lsn(lsn);
+  MORPH_FAILPOINT("engine.update.after_log");
 
   storage::Record record;
   record.row = std::move(new_row);

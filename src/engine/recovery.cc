@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/failpoint.h"
+
 namespace morph::engine {
 
 namespace {
@@ -67,6 +69,7 @@ bool IsDataRecord(wal::LogRecordType type) {
 Result<Recovery::Stats> Recovery::Restart(wal::Wal* wal,
                                           storage::Catalog* catalog) {
   Stats stats;
+  MORPH_FAILPOINT("engine.recovery.redo_pass");
   // Pass 1: analysis + redo.
   std::unordered_map<TxnId, Lsn> att;  // loser candidates -> last LSN
   Status redo_status;
@@ -102,6 +105,7 @@ Result<Recovery::Stats> Recovery::Restart(wal::Wal* wal,
   MORPH_RETURN_NOT_OK(redo_status);
 
   // Pass 2: undo losers.
+  MORPH_FAILPOINT("engine.recovery.undo_pass");
   stats.losers = att.size();
   MORPH_ASSIGN_OR_RETURN(stats.undone, UndoLosers(wal, catalog, att));
   return stats;
@@ -121,6 +125,10 @@ Result<size_t> Recovery::UndoLosers(
         case wal::LogRecordType::kInsert:
         case wal::LogRecordType::kDelete:
         case wal::LogRecordType::kUpdate: {
+          // Fires once per compensated operation: a crash here leaves a
+          // partially rolled-back loser whose already-written CLRs the next
+          // Restart must skip via undo_next_lsn.
+          MORPH_FAILPOINT("engine.recovery.undo_record");
           wal::LogRecord clr;
           clr.type = wal::LogRecordType::kClr;
           clr.txn_id = txn_id;

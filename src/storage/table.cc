@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include "common/failpoint.h"
+
 namespace morph::storage {
 
 namespace {
@@ -18,16 +20,19 @@ Table::Table(TableId id, std::string name, Schema schema, size_t num_shards)
       shards_(shard_mask_ + 1) {}
 
 void Table::IndexAdd(const Record& record, const Row& pk) {
+  MORPH_FAILPOINT_VOID("storage.index.add");
   std::unique_lock lock(indexes_mu_);
   for (auto& idx : indexes_) idx->Add(idx->KeyOf(record.row), pk);
 }
 
 void Table::IndexRemove(const Record& record, const Row& pk) {
+  MORPH_FAILPOINT_VOID("storage.index.remove");
   std::unique_lock lock(indexes_mu_);
   for (auto& idx : indexes_) idx->Remove(idx->KeyOf(record.row), pk);
 }
 
 Status Table::Insert(Record record) {
+  MORPH_FAILPOINT("storage.table.insert");
   const Row pk = schema_.KeyOf(record.row);
   Shard& shard = ShardFor(pk);
   {
@@ -43,6 +48,7 @@ Status Table::Insert(Record record) {
 }
 
 Status Table::Update(const Row& key, Record record) {
+  MORPH_FAILPOINT("storage.table.update");
   const Row new_pk = schema_.KeyOf(record.row);
   if (new_pk != key) {
     return Status::InvalidArgument("Update may not change the primary key (" +
@@ -67,6 +73,7 @@ Status Table::Update(const Row& key, Record record) {
 }
 
 Status Table::Delete(const Row& key) {
+  MORPH_FAILPOINT("storage.table.delete");
   Shard& shard = ShardFor(key);
   Record old_record;
   {
@@ -101,6 +108,7 @@ bool Table::Contains(const Row& key) const {
 }
 
 Status Table::Mutate(const Row& key, const std::function<bool(Record*)>& fn) {
+  MORPH_FAILPOINT("storage.table.mutate");
   Shard& shard = ShardFor(key);
   Record old_record;
   Record new_record;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/failpoint.h"
 
 namespace morph::transform {
 
@@ -130,6 +131,7 @@ Result<TransformStats> TransformCoordinator::Run() {
   const auto run_start = Clock::Now();
 
   // Step 1: preparation (§3.1).
+  MORPH_FAILPOINT("transform.prepare.before");
   phase_.store(Phase::kPreparing, std::memory_order_release);
   {
     const auto t0 = Clock::Now();
@@ -142,6 +144,9 @@ Result<TransformStats> TransformCoordinator::Run() {
   }
   for (const auto& t : rules_->Sources()) source_ids_.push_back(t->id());
   for (const auto& t : rules_->Targets()) target_ids_.push_back(t->id());
+  // Targets exist in the catalog from here on; a crash leaves them half-built
+  // but unlogged, so restart recovery makes them vanish with the incarnation.
+  MORPH_FAILPOINT("transform.prepare.after");
 
   if (config_.strategy == SyncStrategy::kNonBlockingCommit) {
     for (TableId id : source_ids_) {
@@ -184,6 +189,7 @@ Result<TransformStats> TransformCoordinator::Run() {
     start_lsn = snap.min_first_lsn;
   }
 
+  MORPH_FAILPOINT("transform.fuzzy.begin");
   phase_.store(Phase::kPopulating, std::memory_order_release);
   rules_->set_throttle(&priority_);
   {
@@ -195,6 +201,7 @@ Result<TransformStats> TransformCoordinator::Run() {
       return stats;
     }
   }
+  MORPH_FAILPOINT("transform.fuzzy.end");
   {
     // End-of-fuzzy-read mark, beginning the first propagation cycle (§3.3).
     wal::LogRecord mark;
@@ -213,6 +220,7 @@ Result<TransformStats> TransformCoordinator::Run() {
   {
     const auto t0 = Clock::Now();
     while (true) {
+      MORPH_FAILPOINT("transform.propagate.iteration");
       if (abort_requested_.load(std::memory_order_acquire)) {
         stats.propagate_micros = Clock::MicrosSince(t0);
         AbortTransformation("abort requested", &stats);
@@ -384,6 +392,7 @@ Result<TransformStats> TransformCoordinator::Run() {
     }
   }
 
+  MORPH_FAILPOINT("transform.finalize.before_drop");
   {
     const Status st = rules_->FinalizeTargets();
     if (!st.ok()) {
@@ -423,6 +432,7 @@ Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
     }
     const auto wait_start = Clock::Now();
     while (true) {
+      MORPH_FAILPOINT("transform.sync.gate_wait");
       // Keep propagating while waiting so the final pass stays short.
       const Lsn end = db_->wal()->LastLsn();
       if (end >= next_lsn_) {
@@ -454,6 +464,7 @@ Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
   // The common core: latch the source tables exclusively (in id order), do
   // one final propagation pass to the log end, and switch. The latch hold
   // time is the user-visible pause the paper reports as < 1 ms.
+  MORPH_FAILPOINT("transform.sync.before_latch");
   std::vector<std::shared_ptr<storage::Table>> sources = rules_->Sources();
   std::sort(sources.begin(), sources.end(),
             [](const auto& a, const auto& b) { return a->id() < b->id(); });
@@ -470,6 +481,10 @@ Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
       stats->log_records_processed += *n;
     }
 
+    // Latches are RAII: a crash thrown here releases them on unwind, which
+    // is exactly the guarantee a real process kill gives (latches are not
+    // durable state).
+    MORPH_FAILPOINT("transform.sync.latched");
     const txn::TxnEpoch sw = db_->AdvanceEpoch();
     // Count the transactions the non-blocking-abort strategy dooms: old
     // transactions currently holding locks on the source tables.
@@ -494,6 +509,9 @@ Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
     gate_on_ = false;
     gate_cv_.notify_all();
   }
+  // After the epoch flip and (for blocking commit) the gate release: the
+  // switch is visible to clients but the drain has not started.
+  MORPH_FAILPOINT("transform.sync.after_switch");
   return Status::OK();
 }
 
@@ -502,6 +520,7 @@ Status TransformCoordinator::Drain(TransformStats* stats) {
   const auto drain_start = Clock::Now();
   const txn::TxnEpoch sw = switch_epoch_.load(std::memory_order_acquire);
   while (true) {
+    MORPH_FAILPOINT("transform.drain.iteration");
     const Lsn end = db_->wal()->LastLsn();
     if (end >= next_lsn_) {
       auto n = PropagateRange(next_lsn_, end, /*throttled=*/true);

@@ -3,9 +3,28 @@
 #include <fstream>
 #include <mutex>
 
+#include "common/codec.h"
+#include "common/failpoint.h"
+
 namespace morph::wal {
 
+namespace {
+
+/// FNV-1a over a record's encoded payload. The on-disk framing stores it so
+/// a torn or corrupted tail is detected instead of decoded as garbage.
+uint32_t Fnv1a(std::string_view data) {
+  uint32_t h = 2166136261u;
+  for (const char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
 Lsn Wal::Append(LogRecord rec) {
+  MORPH_FAILPOINT_VOID("wal.append");
   std::unique_lock lock(mu_);
   const Lsn lsn = base_lsn_ + records_.size();
   rec.lsn = lsn;
@@ -58,6 +77,7 @@ Lsn Wal::Scan(Lsn from, Lsn to,
 }
 
 void Wal::TruncateBefore(Lsn keep_from) {
+  MORPH_FAILPOINT_VOID("wal.truncate");
   // Move the truncated prefix out under the lock and destroy it outside:
   // freeing tens of thousands of records must not stall concurrent
   // appenders (every transaction operation appends).
@@ -81,10 +101,21 @@ Lsn Wal::FirstLsn() const {
 }
 
 Status Wal::SaveToFile(const std::string& path) const {
+  MORPH_FAILPOINT("wal.save");
+  // Each record is framed as [u32 payload size][u32 FNV-1a checksum][payload]
+  // so a reader can tell a torn tail (the common crash artifact) from valid
+  // data without trusting the payload codec to fail on garbage.
   std::string buf;
   {
     std::shared_lock lock(mu_);
-    for (const LogRecord& rec : records_) rec.EncodeTo(&buf);
+    std::string payload;
+    for (const LogRecord& rec : records_) {
+      payload.clear();
+      rec.EncodeTo(&payload);
+      codec::PutU32(&buf, static_cast<uint32_t>(payload.size()));
+      codec::PutU32(&buf, Fnv1a(payload));
+      buf += payload;
+    }
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
@@ -94,6 +125,7 @@ Status Wal::SaveToFile(const std::string& path) const {
 }
 
 Status Wal::LoadFromFile(const std::string& path) {
+  MORPH_FAILPOINT("wal.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path + " for reading");
   std::string buf((std::istreambuf_iterator<char>(in)),
@@ -101,9 +133,29 @@ Status Wal::LoadFromFile(const std::string& path) {
   std::deque<LogRecord> records;
   size_t offset = 0;
   while (offset < buf.size()) {
-    auto rec = LogRecord::Decode(buf, &offset);
-    if (!rec.ok()) return rec.status();
+    // Frame header: a short or checksum-mismatched frame is a torn/corrupt
+    // tail — stop there and keep the valid prefix, exactly what ARIES-style
+    // recovery wants ("the log ends at the last complete record"). Replay
+    // must never continue past a gap, so everything after the first bad
+    // frame is discarded even if it would decode.
+    if (buf.size() - offset < 8) break;
+    codec::Reader reader{buf, offset, false};
+    const uint32_t size = reader.GetU32();
+    const uint32_t checksum = reader.GetU32();
+    if (buf.size() - reader.pos < size) break;
+    const std::string_view payload(buf.data() + reader.pos, size);
+    if (Fnv1a(payload) != checksum) break;
+    size_t payload_offset = 0;
+    auto rec = LogRecord::Decode(payload, &payload_offset);
+    if (!rec.ok() || payload_offset != size) {
+      // A checksummed frame that does not decode is a writer-side bug, not
+      // bit rot — surface it instead of silently truncating.
+      return Status::Corruption("WAL frame at offset " +
+                                std::to_string(offset) +
+                                " has a valid checksum but does not decode");
+    }
     records.push_back(std::move(rec).ValueOrDie());
+    offset = reader.pos + size;
   }
   std::unique_lock lock(mu_);
   records_ = std::move(records);

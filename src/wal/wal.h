@@ -66,9 +66,16 @@ class Wal {
   Lsn FirstLsn() const;
 
   /// \brief Serializes the whole (untruncated) log to `path` (overwrites).
+  /// Records are framed with a length prefix and a checksum so a reader can
+  /// detect torn or corrupted tails.
   Status SaveToFile(const std::string& path) const;
 
   /// \brief Replaces this log's contents with the records in `path`.
+  /// Torn-write tolerant: a truncated or checksum-mismatched frame ends the
+  /// load at the last valid record (the prefix is kept, the tail discarded),
+  /// matching what restart recovery expects after a crash mid-write. Only a
+  /// frame that passes its checksum yet fails to decode is reported as
+  /// Corruption.
   Status LoadFromFile(const std::string& path);
 
  private:

@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/relops.h"
+#include "engine/database.h"
+#include "engine/recovery.h"
+#include "tests/test_util.h"
+#include "transform/coordinator.h"
+#include "transform/foj.h"
+#include "transform/hsplit.h"
+#include "transform/split.h"
+
+namespace morph::transform {
+namespace {
+
+using morph::testing::Sorted;
+using morph::testing::SortedRows;
+using morph::testing::StripedWriters;
+using morph::testing::WithCommittedUpdates;
+
+// The crash-recovery matrix: for every failpoint the transformation path of
+// an operator actually crosses (discovered by a tracing run, not hand-listed,
+// so a newly added site is covered automatically) × every SyncStrategy, run
+// the transformation under concurrent writer traffic, kill the coordinator
+// at the site, and verify the ARIES-lite recovery contract:
+//
+//   (a) restart recovery rebuilds the source tables to exactly the serial
+//       oracle (committed writer updates present, the loser rolled back);
+//   (b) a second Restart is a strict no-op (idempotence);
+//   (c) the transformation can simply be re-run to completion and produces
+//       the relational-operator oracle of the recovered sources — a crash
+//       mid-transformation is equivalent to an abort (paper §6).
+//
+// The WAL file is the only state that survives a cell's "crash": the next
+// incarnation is a fresh Database that recreates the source schemas (ids
+// line up because creation order is fixed) and loads the saved log.
+
+/// Key reserved for the deterministic loser transaction; writers never
+/// touch it, so the loser's lock acquisition cannot conflict.
+constexpr int64_t kReservedKey = 1000;
+
+struct Scenario {
+  std::string name;
+  /// Creates the source tables in a fixed order (table ids must line up
+  /// across incarnations) and returns them.
+  std::function<std::vector<std::shared_ptr<storage::Table>>(
+      engine::Database*)>
+      create_sources;
+  /// Initial rows, parallel to create_sources' result. The writer table
+  /// additionally holds kReservedKey.
+  std::vector<std::vector<Row>> initial_rows;
+  size_t writer_table = 0;
+  size_t writer_column = 0;
+  std::vector<int64_t> writer_keys;
+  std::function<std::shared_ptr<OperatorRules>(engine::Database*)> make_rules;
+  /// Expected target images (by table name) for given source images.
+  std::function<std::map<std::string, std::vector<Row>>(
+      const std::vector<std::vector<Row>>&)>
+      oracle;
+};
+
+Scenario FojScenario() {
+  Scenario sc;
+  sc.name = "foj";
+  sc.create_sources = [](engine::Database* db) {
+    std::vector<std::shared_ptr<storage::Table>> out;
+    out.push_back(*db->CreateTable("r", morph::testing::RSchema()));
+    out.push_back(*db->CreateTable("s", morph::testing::SSchema()));
+    return out;
+  };
+  std::vector<Row> r_rows;
+  for (int i = 0; i < 60; ++i) {
+    r_rows.push_back(Row({i, static_cast<int64_t>(i % 12), "p"}));
+    sc.writer_keys.push_back(i);
+  }
+  r_rows.push_back(Row({kReservedKey, 5, "z"}));
+  std::vector<Row> s_rows;
+  for (int i = 0; i < 12; ++i) s_rows.push_back(Row({i, i, "s"}));
+  sc.initial_rows = {r_rows, s_rows};
+  sc.writer_table = 0;
+  sc.writer_column = 2;  // payload
+  sc.make_rules = [](engine::Database* db) -> std::shared_ptr<OperatorRules> {
+    FojSpec spec;
+    spec.r_table = "r";
+    spec.s_table = "s";
+    spec.r_join_column = "jv";
+    spec.s_join_column = "jv";
+    spec.target_table = "t_out";
+    auto rules = FojRules::Make(db, spec);
+    EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+    return std::shared_ptr<OperatorRules>(std::move(rules).ValueOrDie());
+  };
+  sc.oracle = [](const std::vector<std::vector<Row>>& sources) {
+    std::map<std::string, std::vector<Row>> out;
+    out["t_out"] = FullOuterJoin(sources[0], 1, sources[1], 1, 3, 3);
+    return out;
+  };
+  return sc;
+}
+
+std::vector<Row> SplitSourceRows(std::vector<int64_t>* writer_keys) {
+  std::vector<Row> t_rows;
+  for (int i = 0; i < 60; ++i) {
+    const int64_t zip = 7000 + i % 8;
+    t_rows.push_back(Row({i, zip, "city" + std::to_string(zip), "b"}));
+    if (writer_keys != nullptr) writer_keys->push_back(i);
+  }
+  t_rows.push_back(Row({kReservedKey, 7000, "city7000", "z"}));
+  return t_rows;
+}
+
+Scenario VSplitScenario() {
+  Scenario sc;
+  sc.name = "vsplit";
+  sc.create_sources = [](engine::Database* db) {
+    std::vector<std::shared_ptr<storage::Table>> out;
+    out.push_back(*db->CreateTable("t", morph::testing::TSplitSchema()));
+    return out;
+  };
+  sc.initial_rows = {SplitSourceRows(&sc.writer_keys)};
+  sc.writer_table = 0;
+  sc.writer_column = 3;  // body: not projected into S, so the split stays
+                         // FD-consistent under writer traffic
+  sc.make_rules = [](engine::Database* db) -> std::shared_ptr<OperatorRules> {
+    SplitSpec spec;
+    spec.t_table = "t";
+    spec.r_columns = {"id", "zip", "body"};
+    spec.s_columns = {"zip", "city"};
+    spec.split_columns = {"zip"};
+    auto rules = SplitRules::Make(db, spec);
+    EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+    return std::shared_ptr<OperatorRules>(std::move(rules).ValueOrDie());
+  };
+  sc.oracle = [](const std::vector<std::vector<Row>>& sources) {
+    auto split = Split(sources[0], {0, 1, 3}, {1, 2}, {0});
+    std::map<std::string, std::vector<Row>> out;
+    out["r_split"] = split.r_rows;
+    out["s_split"] = split.s_rows;
+    return out;
+  };
+  return sc;
+}
+
+Scenario HSplitScenario() {
+  Scenario sc;
+  sc.name = "hsplit";
+  sc.create_sources = [](engine::Database* db) {
+    std::vector<std::shared_ptr<storage::Table>> out;
+    out.push_back(*db->CreateTable("t", morph::testing::TSplitSchema()));
+    return out;
+  };
+  sc.initial_rows = {SplitSourceRows(&sc.writer_keys)};
+  sc.writer_table = 0;
+  sc.writer_column = 3;  // body: does not move rows across the predicate
+  sc.make_rules = [](engine::Database* db) -> std::shared_ptr<OperatorRules> {
+    HorizontalSplitSpec spec;
+    spec.t_table = "t";
+    spec.predicate.column = "zip";
+    spec.predicate.comparator = RoutePredicate::Comparator::kLt;
+    spec.predicate.operand = Value(static_cast<int64_t>(7004));
+    auto rules = HorizontalSplitRules::Make(db, spec);
+    EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+    return std::shared_ptr<OperatorRules>(std::move(rules).ValueOrDie());
+  };
+  sc.oracle = [](const std::vector<std::vector<Row>>& sources) {
+    std::map<std::string, std::vector<Row>> out;
+    for (const Row& row : sources[0]) {
+      (row[1].AsInt64() < 7004 ? out["t_match"] : out["t_rest"])
+          .push_back(row);
+    }
+    return out;
+  };
+  return sc;
+}
+
+TransformConfig CellConfig(SyncStrategy strategy) {
+  TransformConfig config;
+  config.strategy = strategy;
+  config.drop_sources = false;  // recovery recreates sources; keep symmetric
+  // Bounds the whole run, the drain, and — critically — how long a writer
+  // stays parked at the blocking gate when a crash cell kills the
+  // coordinator with the gate up: joining those writers costs up to this
+  // long, so keep it small but comfortably above a clean run's duration.
+  config.max_duration_micros = 3'000'000;
+  return config;
+}
+
+/// Runs the transformation once, cleanly, with tracing on, and returns the
+/// transform-path failpoints this (operator, strategy) pair crosses.
+std::vector<std::string> EnumerateSites(const Scenario& sc,
+                                        SyncStrategy strategy) {
+  auto& fps = Failpoints::Instance();
+  fps.DisableAll();
+  fps.ResetCounters();
+  fps.SetTracing(true);
+
+  engine::Database db;
+  auto sources = sc.create_sources(&db);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_TRUE(db.BulkLoad(sources[i].get(), sc.initial_rows[i]).ok());
+  }
+  StripedWriters writers(&db, sources[sc.writer_table].get(), sc.writer_keys,
+                         sc.writer_column);
+  writers.Start();
+  EXPECT_TRUE(writers.WaitForCommits(5));
+
+  auto rules = sc.make_rules(&db);
+  TransformCoordinator coord(&db, rules, CellConfig(strategy));
+  auto run = coord.Run();
+  writers.StopAndJoin();
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  if (run.ok()) {
+    EXPECT_TRUE(run->completed) << run->abort_reason;
+  }
+
+  fps.SetTracing(false);
+  auto sites = fps.HitSitesMatching("transform.");
+  fps.ResetCounters();
+  return sites;
+}
+
+/// One matrix cell: crash at `site`, recover, verify (a)-(c) above.
+void RunCrashCell(const Scenario& sc, SyncStrategy strategy,
+                  const std::string& site) {
+  SCOPED_TRACE(sc.name + " / " + std::string(SyncStrategyToString(strategy)) +
+               " / crash at " + site);
+  auto& fps = Failpoints::Instance();
+  fps.DisableAll();
+  fps.ResetCounters();
+
+  std::string path = ::testing::TempDir() + "/morph_crash_" + sc.name + "_" +
+                     std::string(SyncStrategyToString(strategy)) + "_" + site +
+                     ".log";
+  for (char& c : path) {
+    if (c == '.') c = '_';
+  }
+  path += ".log";
+
+  // --- Phase A: run under traffic, crash at the site, save the WAL. -------
+  std::vector<std::vector<Row>> expected_sources;
+  {
+    engine::Database db;
+    auto sources = sc.create_sources(&db);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_TRUE(db.BulkLoad(sources[i].get(), sc.initial_rows[i]).ok());
+    }
+    StripedWriters writers(&db, sources[sc.writer_table].get(), sc.writer_keys,
+                           sc.writer_column);
+    writers.Start();
+    ASSERT_TRUE(writers.WaitForCommits(5));
+
+    auto rules = sc.make_rules(&db);
+    TransformCoordinator coord(&db, rules, CellConfig(strategy));
+    fps.Crash(site);
+    auto fut = std::async(std::launch::async, [&] { return coord.Run(); });
+    bool crashed = false;
+    try {
+      auto run = fut.get();
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+    } catch (const CrashException& e) {
+      crashed = true;
+      EXPECT_EQ(e.point(), site);
+    }
+    fps.DisableAll();
+    writers.StopAndJoin();
+    // The dead coordinator's hook must not gate the post-crash loser (a real
+    // next incarnation would not have it registered either).
+    db.ClearTransformHook();
+
+    // Every enumerated site is on the deterministic path of its strategy, so
+    // the armed crash must actually have fired.
+    ASSERT_TRUE(crashed) << "site " << site << " was not reached";
+    EXPECT_GE(fps.fires(site), 1u);
+
+    // What recovery must rebuild: initial rows + the writers' committed
+    // updates (each thread owns disjoint keys; maps merge exactly).
+    const auto committed = writers.Committed();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      expected_sources.push_back(
+          i == sc.writer_table
+              ? WithCommittedUpdates(sc.initial_rows[i], sc.writer_column,
+                                     committed)
+              : sc.initial_rows[i]);
+    }
+
+    // One deterministic loser: an update left uncommitted at the crash
+    // point. Recovery must roll it back.
+    auto loser = db.Begin();
+    ASSERT_TRUE(db.Update(loser, sources[sc.writer_table].get(),
+                          Row({kReservedKey}),
+                          {{sc.writer_column, Value("loser")}})
+                    .ok());
+    ASSERT_TRUE(db.wal()->SaveToFile(path).ok());
+    // Tidy shutdown of the dead incarnation (not part of the scenario).
+    ASSERT_TRUE(db.Abort(loser).ok());
+  }
+
+  // --- Phase B: fresh incarnation, recover, verify, re-run. ---------------
+  engine::Database db2;
+  auto sources2 = sc.create_sources(&db2);
+  ASSERT_TRUE(db2.wal()->LoadFromFile(path).ok());
+  auto stats1 = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats1.ok()) << stats1.status().ToString();
+  EXPECT_EQ(stats1->losers, 1u);
+  for (size_t i = 0; i < sources2.size(); ++i) {
+    EXPECT_EQ(SortedRows(*sources2[i]), Sorted(expected_sources[i]))
+        << "source " << sources2[i]->name();
+  }
+  // The half-built targets belong to the dead incarnation: they are not
+  // logged, so they simply do not exist after restart.
+  for (const auto& [name, rows] : sc.oracle(expected_sources)) {
+    EXPECT_EQ(db2.catalog()->GetByName(name), nullptr) << name;
+  }
+
+  // Idempotence: a second restart finds no losers, undoes nothing, appends
+  // nothing, changes nothing.
+  const size_t wal_size = db2.wal()->size();
+  auto stats2 = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+  EXPECT_EQ(stats2->losers, 0u);
+  EXPECT_EQ(stats2->undone, 0u);
+  EXPECT_EQ(db2.wal()->size(), wal_size);
+  for (size_t i = 0; i < sources2.size(); ++i) {
+    EXPECT_EQ(SortedRows(*sources2[i]), Sorted(expected_sources[i]));
+  }
+
+  // Crash == abort: the transformation is simply runnable again, and
+  // produces the relational oracle of the recovered sources.
+  auto rules2 = sc.make_rules(&db2);
+  TransformCoordinator coord2(&db2, rules2, CellConfig(strategy));
+  auto run2 = coord2.Run();
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  ASSERT_TRUE(run2->completed) << run2->abort_reason;
+  const auto expected_targets = sc.oracle(expected_sources);
+  for (const auto& target : rules2->Targets()) {
+    auto it = expected_targets.find(target->name());
+    ASSERT_NE(it, expected_targets.end()) << target->name();
+    EXPECT_EQ(SortedRows(*target), Sorted(it->second)) << target->name();
+  }
+  std::remove(path.c_str());
+}
+
+void RunMatrixRow(const Scenario& sc, SyncStrategy strategy) {
+  const auto sites = EnumerateSites(sc, strategy);
+  ASSERT_FALSE(sites.empty());
+  // Sanity-pin the coverage: the phase boundaries every strategy crosses.
+  for (const char* expected :
+       {"transform.prepare.before", "transform.fuzzy.begin",
+        "transform.propagate.iteration", "transform.sync.latched",
+        "transform.drain.iteration", "transform.finalize.before_drop"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << "tracing run did not cross " << expected;
+  }
+  for (const std::string& site : sites) {
+    RunCrashCell(sc, strategy, site);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashMatrixTest, FojBlockingCommit) {
+  RunMatrixRow(FojScenario(), SyncStrategy::kBlockingCommit);
+}
+TEST(CrashMatrixTest, FojNonBlockingAbort) {
+  RunMatrixRow(FojScenario(), SyncStrategy::kNonBlockingAbort);
+}
+TEST(CrashMatrixTest, FojNonBlockingCommit) {
+  RunMatrixRow(FojScenario(), SyncStrategy::kNonBlockingCommit);
+}
+TEST(CrashMatrixTest, VSplitBlockingCommit) {
+  RunMatrixRow(VSplitScenario(), SyncStrategy::kBlockingCommit);
+}
+TEST(CrashMatrixTest, VSplitNonBlockingAbort) {
+  RunMatrixRow(VSplitScenario(), SyncStrategy::kNonBlockingAbort);
+}
+TEST(CrashMatrixTest, VSplitNonBlockingCommit) {
+  RunMatrixRow(VSplitScenario(), SyncStrategy::kNonBlockingCommit);
+}
+TEST(CrashMatrixTest, HSplitBlockingCommit) {
+  RunMatrixRow(HSplitScenario(), SyncStrategy::kBlockingCommit);
+}
+TEST(CrashMatrixTest, HSplitNonBlockingAbort) {
+  RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort);
+}
+TEST(CrashMatrixTest, HSplitNonBlockingCommit) {
+  RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingCommit);
+}
+
+// --- engine-seam crashes ----------------------------------------------------
+
+// A crash between logging an operation and applying it to the table (the
+// classic WAL window) leaves a loser whose logged-but-unapplied update the
+// redo pass applies and the undo pass rolls back — net effect: nothing.
+TEST(CrashMatrixTest, CrashAfterUpdateLoggedIsUndoneOnRestart) {
+  auto& fps = Failpoints::Instance();
+  fps.DisableAll();
+  fps.ResetCounters();
+  const std::string path =
+      ::testing::TempDir() + "/morph_crash_after_log.log";
+
+  std::vector<Row> initial;
+  for (int i = 0; i < 20; ++i) {
+    initial.push_back(Row({i, static_cast<int64_t>(i), "p"}));
+  }
+  {
+    engine::Database db;
+    auto r = *db.CreateTable("r", morph::testing::RSchema());
+    ASSERT_TRUE(db.BulkLoad(r.get(), initial).ok());
+    auto t = db.Begin();
+    fps.Crash("engine.update.after_log");
+    EXPECT_THROW(
+        (void)db.Update(t, r.get(), Row({7}), {{2, Value("phantom")}}),
+        CrashException);
+    fps.DisableAll();
+    // The update is in the log but was never applied to the table.
+    EXPECT_EQ((*r->Get(Row({7}))).row[2], Value("p"));
+    ASSERT_TRUE(db.wal()->SaveToFile(path).ok());
+  }
+
+  engine::Database db2;
+  auto r2 = *db2.CreateTable("r", morph::testing::RSchema());
+  ASSERT_TRUE(db2.wal()->LoadFromFile(path).ok());
+  auto stats = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->losers, 1u);
+  EXPECT_EQ(stats->undone, 1u);
+  EXPECT_EQ(SortedRows(*r2), Sorted(initial));
+  std::remove(path.c_str());
+}
+
+// A crash *during recovery's own undo pass* leaves some CLRs written; the
+// next restart must resume via undo_next_lsn (skipping what was already
+// compensated) and still converge to the pre-loser image.
+TEST(CrashMatrixTest, CrashDuringRecoveryUndoResumes) {
+  auto& fps = Failpoints::Instance();
+  fps.DisableAll();
+  fps.ResetCounters();
+  const std::string path1 =
+      ::testing::TempDir() + "/morph_crash_undo_1.log";
+  const std::string path2 =
+      ::testing::TempDir() + "/morph_crash_undo_2.log";
+
+  std::vector<Row> initial;
+  for (int i = 0; i < 20; ++i) {
+    initial.push_back(Row({i, static_cast<int64_t>(i), "p"}));
+  }
+  {
+    engine::Database db;
+    auto r = *db.CreateTable("r", morph::testing::RSchema());
+    ASSERT_TRUE(db.BulkLoad(r.get(), initial).ok());
+    auto loser = db.Begin();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          db.Update(loser, r.get(), Row({i}), {{2, Value("u")}}).ok());
+    }
+    ASSERT_TRUE(db.wal()->SaveToFile(path1).ok());
+    ASSERT_TRUE(db.Abort(loser).ok());
+  }
+
+  // First recovery attempt crashes after compensating one of the loser's
+  // three operations.
+  {
+    engine::Database db;
+    auto r = *db.CreateTable("r", morph::testing::RSchema());
+    ASSERT_TRUE(db.wal()->LoadFromFile(path1).ok());
+    fps.Crash("engine.recovery.undo_record", /*fire_on_hit=*/2);
+    EXPECT_THROW((void)engine::Recovery::Restart(db.wal(), db.catalog()),
+                 CrashException);
+    fps.DisableAll();
+    ASSERT_TRUE(db.wal()->SaveToFile(path2).ok());
+  }
+
+  // Second attempt on the partially-undone log converges.
+  engine::Database db2;
+  auto r2 = *db2.CreateTable("r", morph::testing::RSchema());
+  ASSERT_TRUE(db2.wal()->LoadFromFile(path2).ok());
+  auto stats = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->losers, 1u);
+  EXPECT_EQ(stats->undone, 2u);  // one op was already compensated
+  EXPECT_EQ(SortedRows(*r2), Sorted(initial));
+
+  auto stats2 = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->losers, 0u);
+  EXPECT_EQ(SortedRows(*r2), Sorted(initial));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+}  // namespace
+}  // namespace morph::transform

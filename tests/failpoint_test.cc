@@ -1,0 +1,167 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace morph {
+namespace {
+
+/// Resets the global registry around each test so tests compose in one
+/// process (each ctest entry runs in its own process, but a bare gtest run
+/// executes them back to back against the same singleton).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Instance().DisableAll();
+    Failpoints::Instance().ResetCounters();
+  }
+  void TearDown() override {
+    Failpoints::Instance().SetTracing(false);
+    Failpoints::Instance().DisableAll();
+    Failpoints::Instance().ResetCounters();
+  }
+};
+
+TEST_F(FailpointTest, DisarmedIsFree) {
+  EXPECT_FALSE(Failpoints::armed());
+  // The macro takes the early-out path; Evaluate is never called, so the
+  // site is not even registered.
+  MORPH_FAILPOINT_VOID("fp_test.never_armed");
+  EXPECT_TRUE(
+      Failpoints::Instance().SitesMatching("fp_test.never_armed").empty());
+}
+
+TEST_F(FailpointTest, ErrorInjection) {
+  auto& fps = Failpoints::Instance();
+  fps.Error("fp_test.err", Status::IOError("boom"));
+  EXPECT_TRUE(Failpoints::armed());
+  const Status st = fps.Evaluate("fp_test.err");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_EQ(fps.hits("fp_test.err"), 1u);
+  EXPECT_EQ(fps.fires("fp_test.err"), 1u);
+  fps.Disable("fp_test.err");
+  EXPECT_FALSE(Failpoints::armed());
+  EXPECT_TRUE(fps.Evaluate("fp_test.err").ok());
+}
+
+TEST_F(FailpointTest, CrashThrows) {
+  auto& fps = Failpoints::Instance();
+  fps.Crash("fp_test.crash");
+  try {
+    fps.Evaluate("fp_test.crash");
+    FAIL() << "expected CrashException";
+  } catch (const CrashException& e) {
+    EXPECT_EQ(e.point(), "fp_test.crash");
+    EXPECT_NE(std::string(e.what()).find("fp_test.crash"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, CountGating) {
+  auto& fps = Failpoints::Instance();
+  Failpoints::Config config;
+  config.action = Failpoints::Action::kError;
+  config.error = Status::Busy("gated");
+  config.fire_on_hit = 3;
+  config.max_fires = 2;
+  fps.Enable("fp_test.gated", config);
+  EXPECT_TRUE(fps.Evaluate("fp_test.gated").ok());   // hit 1
+  EXPECT_TRUE(fps.Evaluate("fp_test.gated").ok());   // hit 2
+  EXPECT_TRUE(fps.Evaluate("fp_test.gated").IsBusy());  // hit 3: fire 1
+  EXPECT_TRUE(fps.Evaluate("fp_test.gated").IsBusy());  // hit 4: fire 2
+  EXPECT_TRUE(fps.Evaluate("fp_test.gated").ok());   // max_fires exhausted
+  EXPECT_EQ(fps.hits("fp_test.gated"), 5u);
+  EXPECT_EQ(fps.fires("fp_test.gated"), 2u);
+}
+
+TEST_F(FailpointTest, DelaySleeps) {
+  auto& fps = Failpoints::Instance();
+  fps.Delay("fp_test.delay", 20'000);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(fps.Evaluate("fp_test.delay").ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 15'000);
+}
+
+TEST_F(FailpointTest, TracingRecordsHitsWithoutActions) {
+  auto& fps = Failpoints::Instance();
+  fps.SetTracing(true);
+  EXPECT_TRUE(Failpoints::armed());
+  MORPH_FAILPOINT_VOID("fp_test.traced.a");
+  MORPH_FAILPOINT_VOID("fp_test.traced.a");
+  MORPH_FAILPOINT_VOID("fp_test.traced.b");
+  fps.SetTracing(false);
+  EXPECT_EQ(fps.hits("fp_test.traced.a"), 2u);
+  EXPECT_EQ(fps.hits("fp_test.traced.b"), 1u);
+  EXPECT_EQ(fps.fires("fp_test.traced.a"), 0u);
+  EXPECT_EQ(fps.SitesMatching("fp_test.traced.").size(), 2u);
+  EXPECT_EQ(fps.HitSitesMatching("fp_test.traced.").size(), 2u);
+  fps.ResetCounters();
+  EXPECT_EQ(fps.hits("fp_test.traced.a"), 0u);
+  EXPECT_TRUE(fps.HitSitesMatching("fp_test.traced.").empty());
+  // Registration survives a counter reset.
+  EXPECT_EQ(fps.SitesMatching("fp_test.traced.").size(), 2u);
+}
+
+TEST_F(FailpointTest, ConfigureFromStringGrammar) {
+  auto& fps = Failpoints::Instance();
+  ASSERT_TRUE(fps.ConfigureFromString(
+                     "fp_test.g1=error(io);fp_test.g2=delay(1);"
+                     "fp_test.g3=error(aborted)@2*1")
+                  .ok());
+  EXPECT_TRUE(fps.Evaluate("fp_test.g1").IsIOError());
+  EXPECT_TRUE(fps.Evaluate("fp_test.g2").ok());
+  EXPECT_TRUE(fps.Evaluate("fp_test.g3").ok());         // hit 1
+  EXPECT_TRUE(fps.Evaluate("fp_test.g3").IsAborted());  // hit 2: fires
+  EXPECT_TRUE(fps.Evaluate("fp_test.g3").ok());         // max_fires = 1
+
+  // Suffixes parse in either order.
+  ASSERT_TRUE(fps.ConfigureFromString("fp_test.g4=error(busy)*1@2").ok());
+  EXPECT_TRUE(fps.Evaluate("fp_test.g4").ok());
+  EXPECT_TRUE(fps.Evaluate("fp_test.g4").IsBusy());
+  EXPECT_TRUE(fps.Evaluate("fp_test.g4").ok());
+
+  // Crash actions parse too (not evaluated here).
+  ASSERT_TRUE(fps.ConfigureFromString("fp_test.g5=crash@7").ok());
+
+  EXPECT_FALSE(fps.ConfigureFromString("nonsense").ok());
+  EXPECT_FALSE(fps.ConfigureFromString("fp_test.bad=frobnicate").ok());
+  EXPECT_FALSE(fps.ConfigureFromString("fp_test.bad=error(bogus)").ok());
+  EXPECT_FALSE(fps.ConfigureFromString("fp_test.bad=delay(xyz)").ok());
+  EXPECT_FALSE(fps.ConfigureFromString("=crash").ok());
+}
+
+TEST_F(FailpointTest, ConfigureFromEnv) {
+  ASSERT_EQ(setenv("MORPH_FAILPOINTS", "fp_test.env=error(notfound)", 1), 0);
+  auto& fps = Failpoints::Instance();
+  ASSERT_TRUE(fps.ConfigureFromEnv().ok());
+  EXPECT_TRUE(fps.Evaluate("fp_test.env").IsNotFound());
+  unsetenv("MORPH_FAILPOINTS");
+}
+
+// End to end through a real seam: an injected error surfaces from the
+// public API, and disarming restores normal behaviour.
+TEST_F(FailpointTest, InjectedErrorSurfacesFromWalSave) {
+  engine::Database db;
+  auto r = *db.CreateTable("r", morph::testing::RSchema());
+  ASSERT_TRUE(db.BulkLoad(r.get(), {Row({1, 1, "p"})}).ok());
+  const std::string path = ::testing::TempDir() + "/morph_fp_wal.log";
+
+  auto& fps = Failpoints::Instance();
+  fps.Error("wal.save", Status::IOError("disk on fire"));
+  const Status st = db.wal()->SaveToFile(path);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+
+  fps.DisableAll();
+  EXPECT_TRUE(db.wal()->SaveToFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace morph

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/harness/workload.h"
+#include "common/relops.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
+#include "transform/coordinator.h"
+#include "transform/foj.h"
+
+namespace morph::transform {
+namespace {
+
+using morph::testing::Sorted;
+using morph::testing::SortedRows;
+
+// Data-race smoke test for the coordinator's concurrent seams: four client
+// threads hammer the source table through the full transformation under
+// every SyncStrategy. Built to run under ThreadSanitizer (the CI tsan job);
+// without a sanitizer it still pins the convergence property — the final
+// target equals the relational oracle of the final sources.
+//
+// Reuses the benchmark workload generator rather than bespoke writer loops:
+// stop_on_epoch ends each client when the transformation gates or switches,
+// so the blocking-commit strategy cannot wedge on parked writers.
+void RunSmoke(SyncStrategy strategy) {
+  SCOPED_TRACE(SyncStrategyToString(strategy));
+  engine::Database db;
+  auto r = *db.CreateTable("r", morph::testing::RSchema());
+  auto s = *db.CreateTable("s", morph::testing::SSchema());
+  std::vector<Row> r_rows;
+  for (int i = 0; i < 48; ++i) {
+    r_rows.push_back(Row({i, static_cast<int64_t>(i % 12), "p"}));
+  }
+  std::vector<Row> s_rows;
+  for (int i = 0; i < 12; ++i) s_rows.push_back(Row({i, i, "s"}));
+  ASSERT_TRUE(db.BulkLoad(r.get(), r_rows).ok());
+  ASSERT_TRUE(db.BulkLoad(s.get(), s_rows).ok());
+
+  bench::WorkloadConfig wc;
+  wc.db = &db;
+  // Updating the join column is the adversarial choice: every workload
+  // update moves target rows, not just payload bytes.
+  wc.tables = {{r.get(), /*key_range=*/48, /*update_column=*/1, 1.0}};
+  wc.updates_per_txn = 2;
+  wc.num_threads = 4;
+  wc.stop_on_epoch = true;
+  wc.seed = 7 + static_cast<uint64_t>(strategy);
+  bench::Workload workload(wc);
+  workload.Start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (workload.Snapshot().committed < 20 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(workload.Snapshot().committed, 20u);
+
+  FojSpec spec;
+  spec.r_table = "r";
+  spec.s_table = "s";
+  spec.r_join_column = "jv";
+  spec.s_join_column = "jv";
+  spec.target_table = "t_out";
+  auto rules = FojRules::Make(&db, spec);
+  ASSERT_TRUE(rules.ok());
+  auto shared = std::shared_ptr<FojRules>(std::move(rules).ValueOrDie());
+  TransformConfig config;
+  config.strategy = strategy;
+  config.drop_sources = false;
+  config.max_duration_micros = 30'000'000;
+  TransformCoordinator coord(&db, shared, config);
+  auto fut = std::async(std::launch::async, [&] { return coord.Run(); });
+  auto run = fut.get();
+  workload.Stop();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_TRUE(run->completed) << run->abort_reason;
+
+  std::vector<Row> final_r, final_s;
+  r->ForEach([&](const storage::Record& rec) { final_r.push_back(rec.row); });
+  s->ForEach([&](const storage::Record& rec) { final_s.push_back(rec.row); });
+  const auto expected = Sorted(FullOuterJoin(final_r, 1, final_s, 1, 3, 3));
+  EXPECT_EQ(SortedRows(*shared->target()), expected);
+}
+
+TEST(TransformConcurrencyTest, BlockingCommit) {
+  RunSmoke(SyncStrategy::kBlockingCommit);
+}
+TEST(TransformConcurrencyTest, NonBlockingAbort) {
+  RunSmoke(SyncStrategy::kNonBlockingAbort);
+}
+TEST(TransformConcurrencyTest, NonBlockingCommit) {
+  RunSmoke(SyncStrategy::kNonBlockingCommit);
+}
+
+}  // namespace
+}  // namespace morph::transform
