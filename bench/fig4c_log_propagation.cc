@@ -13,10 +13,58 @@
 // reported per point.
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench/harness/interference.h"
 
 using namespace morph::bench;
+
+// Worker-count sweep: backlog-drain throughput of the propagation pipeline
+// at full duty, per pipeline width (0 = serial reader-applies path). Written
+// as JSON so a CI runner can archive the numbers next to the core count that
+// produced them — on a single-core host the parallel speedup cannot show,
+// which is exactly why the core count is part of the record.
+static void RunWorkerSweep(double t_share, const char* json_path) {
+  PrintHeader("log-propagation backlog drain vs. pipeline width, " +
+              std::to_string(static_cast<int>(t_share * 100)) +
+              "% updates on T");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u\n", cores);
+  std::printf("%-8s %16s %10s\n", "workers", "records_per_sec", "speedup");
+
+  struct Point {
+    size_t workers;
+    double records_per_sec;
+  };
+  std::vector<Point> points;
+  double serial = 0;
+  for (size_t workers : {0ul, 1ul, 2ul, 4ul, 8ul}) {
+    std::vector<double> reps;
+    for (int rep = 0; rep < 2; ++rep) {
+      reps.push_back(CalibratePropagationCapacity(t_share, workers));
+    }
+    const double rate = MedianOf(reps);
+    if (workers == 0) serial = rate;
+    points.push_back({workers, rate});
+    std::printf("%-8zu %16.0f %10.2f\n", workers, rate,
+                serial > 0 ? rate / serial : 0.0);
+  }
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig4c_worker_sweep\",\n"
+                 "  \"t_share\": %.2f,\n  \"cores\": %u,\n  \"results\": [",
+                 t_share, cores);
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"workers\": %zu, \"records_per_sec\": %.0f}",
+                   i ? "," : "", points[i].workers, points[i].records_per_sec);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+}
 
 int main() {
   SplitScenario calib = SplitScenario::Make();
@@ -55,5 +103,7 @@ int main() {
   std::printf(
       "\npaper shape: both curves degrade with workload (0.88-0.98); the 80%% "
       "curve lies below the 20%% curve and needs a higher priority\n");
+
+  RunWorkerSweep(/*t_share=*/0.8, "BENCH_fig4c_workers.json");
   return 0;
 }

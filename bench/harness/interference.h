@@ -91,12 +91,18 @@ inline InterferencePoint MeasurePopulationInterference(
 /// skipped). Used to compute the priority a given workload level requires —
 /// the paper's §3.3 sizing question ("the propagator needs a higher
 /// priority if many log records are generated").
-inline double CalibratePropagationCapacity(double t_share) {
+///
+/// `workers` sizes the propagation pipeline (0 = serial reader-applies
+/// path); the worker sweep in fig4c reuses this drain measurement to report
+/// backlog-drain throughput per pipeline width.
+inline double CalibratePropagationCapacity(double t_share,
+                                           size_t workers = 0) {
   SplitScenario scenario = SplitScenario::Make();
   Workload workload(scenario.WorkloadFor(t_share, 4, /*unpaced*/ 0));
 
   transform::TransformConfig config;
   config.priority = 1.0;
+  config.propagate_workers = workers;
   config.lag_iterations = 1'000'000;
   config.drop_sources = false;
   auto rules = scenario.MakeRules();

@@ -21,8 +21,9 @@ namespace morph::engine {
 struct DatabaseOptions {
   /// Record-lock wait timeout (backstop; wait-die resolves deadlocks).
   int64_t lock_timeout_micros = 5'000'000;
-  /// Shards per table hash heap.
-  size_t table_shards = 64;
+  /// Shards per table hash heap. Kept below 64 so Table::ForEach's
+  /// all-shard-locks pass stays under TSan's 64-held-mutexes cap.
+  size_t table_shards = 32;
   /// Multigranularity locking: every record operation first takes an
   /// intention lock (IS for reads, IX for writes) on the table, letting
   /// clients use table-granularity LockTable() S/X locks that exclude or

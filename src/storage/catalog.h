@@ -30,7 +30,7 @@ class Catalog {
   /// \brief Creates a table; fails with AlreadyExists on a name clash.
   Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
                                              Schema schema,
-                                             size_t num_shards = 64);
+                                             size_t num_shards = 32);
 
   /// \brief Removes the table from the catalog. Outstanding shared_ptr
   /// references keep the storage alive until released.

@@ -138,6 +138,53 @@ Status Table::Mutate(const Row& key, const std::function<bool(Record*)>& fn) {
   return Status::OK();
 }
 
+Status Table::Rmw(const Row& key,
+                  const std::function<RmwAction(Record*, bool)>& fn) {
+  MORPH_FAILPOINT("storage.table.rmw");
+  Shard& shard = ShardFor(key);
+  Record old_record;
+  Record new_record;
+  bool had_old = false;
+  bool has_new = false;
+  {
+    std::unique_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    const bool exists = it != shard.map.end();
+    Record tmp = exists ? it->second : Record{};
+    switch (fn(&tmp, exists)) {
+      case RmwAction::kKeep:
+        return Status::OK();
+      case RmwAction::kPut:
+        if (schema_.KeyOf(tmp.row) != key) {
+          return Status::InvalidArgument(
+              "Rmw may not store a row whose key differs from " +
+              key.ToString());
+        }
+        if (exists) {
+          old_record = it->second;
+          had_old = true;
+          it->second = tmp;
+        } else {
+          shard.map.emplace(key, tmp);
+        }
+        new_record = std::move(tmp);
+        has_new = true;
+        break;
+      case RmwAction::kErase:
+        if (!exists) return Status::OK();
+        old_record = std::move(it->second);
+        had_old = true;
+        shard.map.erase(it);
+        break;
+    }
+  }
+  // Index maintenance outside the shard mutex, matching Insert/Update/Delete.
+  if (had_old && has_new && old_record.row == new_record.row) return Status::OK();
+  if (had_old) IndexRemove(old_record, key);
+  if (has_new) IndexAdd(new_record, key);
+  return Status::OK();
+}
+
 void Table::FuzzyScan(const std::function<void(const Record&)>& fn) const {
   for (const Shard& shard : shards_) {
     std::vector<Record> snapshot;
@@ -147,6 +194,21 @@ void Table::FuzzyScan(const std::function<void(const Record&)>& fn) const {
       for (const auto& [key, record] : shard.map) snapshot.push_back(record);
     }
     for (const Record& record : snapshot) fn(record);
+  }
+}
+
+void Table::ForEach(const std::function<void(const Record&)>& fn) const {
+  // Lock every shard, in index order, for the whole pass. Writers take
+  // exactly one shard mutex each and never while holding another, so a
+  // fixed acquisition order here cannot deadlock against them (or against a
+  // concurrent ForEach, which uses the same order). The default shard count
+  // stays below 64 because TSan's deadlock detector aborts when one thread
+  // holds 64 mutexes at once.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) locks.emplace_back(shard.mu);
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, record] : shard.map) fn(record);
   }
 }
 

@@ -45,7 +45,7 @@ class Table {
   /// \param name table name
   /// \param schema column layout and primary-key set
   /// \param num_shards power-of-two shard count for the hash heap
-  Table(TableId id, std::string name, Schema schema, size_t num_shards = 64);
+  Table(TableId id, std::string name, Schema schema, size_t num_shards = 32);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -77,16 +77,40 @@ class Table {
   /// propagator for counter/LSN/flag updates that must be atomic.
   Status Mutate(const Row& key, const std::function<bool(Record*)>& fn);
 
+  /// \brief What an Rmw callback decided to do with the slot at `key`.
+  enum class RmwAction {
+    kKeep,   ///< leave the slot as it was (absent stays absent)
+    kPut,    ///< store `*record` (insert if absent, replace if present)
+    kErase,  ///< remove the record (no-op if absent)
+  };
+
+  /// \brief Like Mutate, but the callback also sees *absence* and may insert
+  /// or erase — the whole decision runs under the shard mutex. `fn` receives
+  /// a scratch Record (a copy of the stored one when `exists`, default-
+  /// constructed otherwise) and returns the action. On kPut the row's
+  /// primary key must equal `key`.
+  ///
+  /// This is the primitive the split propagator's S-side counter maintenance
+  /// needs under parallel propagation: "increment, inserting if absent" and
+  /// "decrement, erasing at zero" are only correct if the existence check
+  /// and the write are one atomic step. A Mutate-then-Insert (or
+  /// Mutate-then-Delete) pair leaves a window where a concurrent worker's
+  /// bump lands between the two and is lost.
+  Status Rmw(const Row& key,
+             const std::function<RmwAction(Record* record, bool exists)>& fn);
+
   /// \brief Fuzzy scan: per-shard snapshots without transactional locks.
   /// `fn` is invoked outside any shard mutex.
   void FuzzyScan(const std::function<void(const Record&)>& fn) const;
 
-  /// \brief Locked iteration helper for tests/oracles: like FuzzyScan but
-  /// the caller typically holds the table latch exclusively, making the
-  /// result action-consistent.
-  void ForEach(const std::function<void(const Record&)>& fn) const {
-    FuzzyScan(fn);
-  }
+  /// \brief Action-consistent iteration: every shard mutex is held (acquired
+  /// in index order) for the duration of one pass, so `fn` sees a single
+  /// point-in-time image even while writers are running — no record is torn
+  /// and no write lands between shards. Writers block until the pass ends;
+  /// use FuzzyScan when staleness is acceptable. Deadlock-free against all
+  /// other Table operations, which each take at most one shard mutex. `fn`
+  /// must not call back into this table.
+  void ForEach(const std::function<void(const Record&)>& fn) const;
 
   size_t size() const;
 

@@ -28,7 +28,17 @@ TransformCoordinator::TransformCoordinator(engine::Database* db,
       rules_(std::move(rules)),
       config_(config),
       priority_(config.priority),
-      tlocks_(config.target_lock_wait_micros) {}
+      tlocks_(config.target_lock_wait_micros) {
+  PropagatorConfig pc;
+  pc.workers = config_.propagate_workers;
+  pc.batch_size = config_.batch_size;
+  pc.queue_capacity = config_.propagate_queue_capacity
+                          ? config_.propagate_queue_capacity
+                          : 2 * config_.batch_size;
+  pc.maintain_locks = config_.maintain_locks;
+  propagator_ = std::make_unique<LogPropagator>(db_->wal(), rules_.get(),
+                                                &tlocks_, &priority_, pc);
+}
 
 TransformCoordinator::~TransformCoordinator() {
   if (hook_registered_.load(std::memory_order_acquire)) {
@@ -37,17 +47,11 @@ TransformCoordinator::~TransformCoordinator() {
 }
 
 bool TransformCoordinator::IsSourceTable(TableId id) const {
-  for (TableId s : source_ids_) {
-    if (s == id) return true;
-  }
-  return false;
+  return source_set_.contains(id);
 }
 
 bool TransformCoordinator::IsTargetTable(TableId id) const {
-  for (TableId t : target_ids_) {
-    if (t == id) return true;
-  }
-  return false;
+  return target_set_.contains(id);
 }
 
 txn::LockOrigin TransformCoordinator::OriginOf(TableId source_table) const {
@@ -59,69 +63,35 @@ txn::LockOrigin TransformCoordinator::OriginOf(TableId source_table) const {
 
 // --- propagation -------------------------------------------------------------
 
-Status TransformCoordinator::ProcessRecord(const wal::LogRecord& rec) {
-  switch (rec.type) {
-    case wal::LogRecordType::kInsert:
-    case wal::LogRecordType::kDelete:
-    case wal::LogRecordType::kUpdate:
-    case wal::LogRecordType::kClr: {
-      if (!IsSourceTable(rec.table_id)) return Status::OK();
-      auto op = Op::FromLogRecord(rec);
-      if (!op) return Status::OK();
-      std::vector<txn::RecordId> affected;
-      MORPH_RETURN_NOT_OK(
-          rules_->Apply(*op, config_.maintain_locks ? &affected : nullptr));
-      if (config_.maintain_locks && op->txn_id != kInvalidTxnId) {
-        // §3.3: locks are maintained on the transformed-table records for
-        // the whole transformation; conflicts among transferred locks are
-        // impossible by Figure 2, so this never blocks.
-        const txn::LockOrigin origin = OriginOf(rec.table_id);
-        for (const txn::RecordId& rid : affected) {
-          tlocks_.AddTransferred(op->txn_id, rid, origin, txn::Access::kWrite);
-        }
-      }
-      ops_propagated_.fetch_add(1, std::memory_order_relaxed);
-      return Status::OK();
-    }
-    case wal::LogRecordType::kCommit:
-    case wal::LogRecordType::kTxnEnd:
-      // "Source table locks held in the transformed tables are released as
-      // soon as the propagator has processed the [completion] log record of
-      // the lock owner transaction" (§3.4).
-      tlocks_.ReleaseTxn(rec.txn_id);
-      return Status::OK();
-    case wal::LogRecordType::kCcBegin:
-    case wal::LogRecordType::kCcOk:
-      return rules_->OnControlRecord(rec);
-    default:
-      return Status::OK();
-  }
-}
-
 Result<size_t> TransformCoordinator::PropagateRange(Lsn from, Lsn to,
                                                     bool throttled) {
-  size_t count = 0;
-  next_lsn_ = from;
-  while (next_lsn_ <= to) {
-    const Lsn stop = std::min<Lsn>(to, next_lsn_ + config_.batch_size - 1);
-    const auto batch_start = Clock::Now();
-    Status status;
-    db_->wal()->Scan(next_lsn_, stop, [&](const wal::LogRecord& rec) {
-      if (!status.ok()) return;
-      status = ProcessRecord(rec);
-      count++;
-    });
-    MORPH_RETURN_NOT_OK(status);
-    next_lsn_ = stop + 1;
-    if (throttled) {
-      priority_.OnWorkDone(Clock::NanosSince(batch_start));
-      if (abort_requested_.load(std::memory_order_acquire) &&
-          !switched_.load(std::memory_order_acquire)) {
-        break;  // the Run loop will handle the abort
-      }
-    }
+  // Record handling lives in LogPropagator (transform/propagator.h); the
+  // serial (propagate_workers == 0) configuration runs the identical
+  // pipeline with one inline worker on this thread.
+  std::function<bool()> cancel;
+  if (throttled) {
+    cancel = [this] {
+      // The Run loop will handle the abort; a post-switch drain must keep
+      // going regardless.
+      return abort_requested_.load(std::memory_order_acquire) &&
+             !switched_.load(std::memory_order_acquire);
+    };
   }
-  return count;
+  return propagator_->PropagateRange(from, to, throttled, &next_lsn_, cancel);
+}
+
+void TransformCoordinator::FillPropagationStats(TransformStats* stats) const {
+  stats->ops_propagated = propagator_->ops_applied();
+  stats->propagate_workers = config_.propagate_workers;
+  stats->worker_ops.clear();
+  for (const PropagatorWorkerStats& ws : propagator_->worker_stats()) {
+    stats->worker_ops.push_back(ws.ops_applied);
+  }
+  if (stats->propagate_micros > 0) {
+    stats->propagate_records_per_sec =
+        static_cast<double>(stats->log_records_processed) /
+        (static_cast<double>(stats->propagate_micros) * 1e-6);
+  }
 }
 
 // --- the four steps ------------------------------------------------------------
@@ -144,6 +114,9 @@ Result<TransformStats> TransformCoordinator::Run() {
   }
   for (const auto& t : rules_->Sources()) source_ids_.push_back(t->id());
   for (const auto& t : rules_->Targets()) target_ids_.push_back(t->id());
+  source_set_ = TableIdSet(source_ids_);
+  target_set_ = TableIdSet(target_ids_);
+  propagator_->SetSources(source_ids_);
   // Targets exist in the catalog from here on; a crash leaves them half-built
   // but unlogged, so restart recovery makes them vanish with the incarnation.
   MORPH_FAILPOINT("transform.prepare.after");
@@ -356,7 +329,7 @@ Result<TransformStats> TransformCoordinator::Run() {
     phase_.store(Phase::kCompleted, std::memory_order_release);
     stats.completed = true;
     stats.final_priority = priority_.priority();
-    stats.ops_propagated = ops_propagated_.load(std::memory_order_relaxed);
+    FillPropagationStats(&stats);
     stats.total_micros = Clock::MicrosSince(run_start);
     return stats;
   }
@@ -416,7 +389,7 @@ Result<TransformStats> TransformCoordinator::Run() {
   phase_.store(Phase::kCompleted, std::memory_order_release);
   stats.completed = true;
   stats.final_priority = priority_.priority();
-  stats.ops_propagated = ops_propagated_.load(std::memory_order_relaxed);
+  FillPropagationStats(&stats);
   stats.total_micros = Clock::MicrosSince(run_start);
   return stats;
 }
@@ -555,7 +528,7 @@ void TransformCoordinator::AbortTransformation(const std::string& reason,
   phase_.store(Phase::kAborted, std::memory_order_release);
   stats->completed = false;
   stats->abort_reason = reason;
-  stats->ops_propagated = ops_propagated_.load(std::memory_order_relaxed);
+  FillPropagationStats(stats);
 }
 
 // --- TransformHook -------------------------------------------------------------

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -11,6 +12,8 @@
 #include "engine/transform_hook.h"
 #include "transform/operator_rules.h"
 #include "transform/priority.h"
+#include "transform/propagator.h"
+#include "transform/table_id_set.h"
 #include "txn/transform_locks.h"
 
 namespace morph::transform {
@@ -84,6 +87,13 @@ struct TransformConfig {
   bool continuous = false;
   /// How long a post-switch transaction waits for a mirrored source lock.
   int64_t target_lock_wait_micros = 2'000'000;
+  /// Parallel log-propagation workers (see transform/propagator.h). 0 =
+  /// serial: the same pipeline code runs with one inline worker on the
+  /// coordinator thread. Ops are partitioned across workers by the
+  /// operator's RoutingKey, so any value preserves per-record LSN order.
+  size_t propagate_workers = 0;
+  /// Bounded per-worker queue capacity, in records. 0 = 2 * batch_size.
+  size_t propagate_queue_capacity = 0;
 };
 
 struct TransformStats {
@@ -109,6 +119,14 @@ struct TransformStats {
   size_t iterations = 0;
   size_t txns_doomed = 0;  ///< non-blocking abort: old txns forced to abort
   double final_priority = 1.0;
+
+  /// Parallel-propagation shape: configured worker count and per-worker ops
+  /// applied (entry 0 is the reader's inline worker — all ops when serial,
+  /// barrier ops when parallel — followed by one entry per queue worker).
+  size_t propagate_workers = 0;
+  std::vector<size_t> worker_ops;
+  /// Log records processed per second of wall-clock propagation time.
+  double propagate_records_per_sec = 0.0;
 };
 
 /// \brief Drives a transformation through the paper's four steps:
@@ -194,9 +212,15 @@ class TransformCoordinator : public engine::TransformHook {
   /// \brief Everything below this LSN has been propagated (or predates the
   /// transformation). Log-archiving housekeeping must not truncate at or
   /// beyond the returned LSN. kInvalidLsn until propagation has started.
+  ///
+  /// With parallel workers this is the min-across-workers watermark: the
+  /// reader's position capped by the lowest LSN still queued or in flight
+  /// on any worker, so Wal::TruncateBefore safety is preserved while ops
+  /// are buffered.
   Lsn propagated_lsn() const {
     const Lsn next = next_lsn_.load(std::memory_order_acquire);
-    return next == kInvalidLsn ? kInvalidLsn : next;
+    if (next == kInvalidLsn) return kInvalidLsn;
+    return std::min(next, propagator_->FloorLsn());
   }
 
   const OperatorRules* rules() const { return rules_.get(); }
@@ -208,11 +232,13 @@ class TransformCoordinator : public engine::TransformHook {
   void OnTxnFinished(TxnId txn, txn::TxnEpoch epoch) override;
 
  private:
-  /// Processes log records [from, to]; returns the count processed.
-  /// `throttled` applies the priority duty cycle between batches.
+  /// Processes log records [from, to] through the propagation pipeline;
+  /// returns the count processed. `throttled` applies the priority duty
+  /// cycle between batches.
   Result<size_t> PropagateRange(Lsn from, Lsn to, bool throttled);
-  /// Handles one log record (data op / txn end / CC bracket).
-  Status ProcessRecord(const wal::LogRecord& rec);
+  /// Copies pipeline counters (ops, per-worker shape, throughput) into
+  /// `stats` on every Run() exit path.
+  void FillPropagationStats(TransformStats* stats) const;
 
   /// The common synchronization core: latch sources exclusively, propagate
   /// to the log end, flip the switch atomically w.r.t. gated operations.
@@ -239,11 +265,11 @@ class TransformCoordinator : public engine::TransformHook {
   std::atomic<bool> paused_{false};
   std::atomic<bool> finish_requested_{false};
   std::atomic<bool> hook_registered_{false};
-  std::atomic<size_t> ops_propagated_{0};
 
-  /// Next log record the propagator will read. Written only by the
-  /// coordinator thread; read concurrently (e.g. by log-truncation
-  /// housekeeping via propagated_lsn()).
+  /// Next log record the propagation reader will read. Written only by the
+  /// coordinator thread (via LogPropagator::PropagateRange); read
+  /// concurrently (e.g. by log-truncation housekeeping via
+  /// propagated_lsn()).
   std::atomic<Lsn> next_lsn_{kInvalidLsn};
 
   /// Blocking-commit gate: when on, operations of transactions with epoch
@@ -259,9 +285,18 @@ class TransformCoordinator : public engine::TransformHook {
   std::atomic<bool> switched_{false};
   std::atomic<txn::TxnEpoch> switch_epoch_{0};
 
-  /// Source/target table id caches (valid after Prepare).
+  /// Source/target table id caches (valid after Prepare). The vectors keep
+  /// OperatorRules order (source_ids_[0] owns LockOrigin::kSource0); the
+  /// sets serve the membership tests on the hook and propagation hot paths.
   std::vector<TableId> source_ids_;
   std::vector<TableId> target_ids_;
+  TableIdSet source_set_;
+  TableIdSet target_set_;
+
+  /// The propagation pipeline. Declared last: its destructor joins the
+  /// worker threads, which touch rules_/tlocks_/priority_, so it must be
+  /// destroyed before any of them.
+  std::unique_ptr<LogPropagator> propagator_;
 };
 
 }  // namespace morph::transform

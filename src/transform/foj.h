@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 
@@ -60,6 +61,7 @@ class FojRules : public OperatorRules {
   Status Prepare() override;
   Status InitialPopulate() override;
   Status Apply(const Op& op, std::vector<txn::RecordId>* affected) override;
+  RouteKey RoutingKey(const Op& op) const override;
   std::vector<txn::RecordId> AffectedTargets(TableId table,
                                              const Row& pk) override;
   std::vector<std::shared_ptr<storage::Table>> Targets() const override {
@@ -73,12 +75,14 @@ class FojRules : public OperatorRules {
   const std::shared_ptr<storage::Table>& target() const { return t_; }
   const FojSpec& spec() const { return spec_; }
 
-  /// \brief Diagnostic counters.
+  /// \brief Diagnostic counters (a point-in-time snapshot).
   struct Counters {
     size_t ops_applied = 0;
     size_t ops_ignored = 0;  ///< already reflected (Theorem-1 skips)
   };
-  Counters counters() const { return counters_; }
+  Counters counters() const {
+    return {counters_.ops_applied.load(), counters_.ops_ignored.load()};
+  }
 
  private:
   FojRules(engine::Database* db, FojSpec spec,
@@ -164,7 +168,11 @@ class FojRules : public OperatorRules {
   storage::SecondaryIndex* idx_rjoin_ = nullptr;
   storage::SecondaryIndex* idx_sjoin_ = nullptr;
 
-  Counters counters_;
+  /// Bumped from concurrent propagation workers; counters() snapshots.
+  struct {
+    std::atomic<size_t> ops_applied{0};
+    std::atomic<size_t> ops_ignored{0};
+  } counters_;
 };
 
 }  // namespace morph::transform

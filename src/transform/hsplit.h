@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "engine/database.h"
@@ -72,6 +73,14 @@ class HorizontalSplitRules : public OperatorRules {
   Status Prepare() override;
   Status InitialPopulate() override;
   Status Apply(const Op& op, std::vector<txn::RecordId>* affected) override;
+
+  /// Both targets are keyed by T's primary key and every rule (including a
+  /// predicate-flipping migration's delete + insert pair) touches only
+  /// records with the op's own key, so per-T-key LSN order is sufficient.
+  RouteKey RoutingKey(const Op& op) const override {
+    return RouteKey::Of(op.key);
+  }
+
   std::vector<txn::RecordId> AffectedTargets(TableId table,
                                              const Row& pk) override;
   std::vector<std::shared_ptr<storage::Table>> Targets() const override {
@@ -90,7 +99,10 @@ class HorizontalSplitRules : public OperatorRules {
     size_t ops_ignored = 0;
     size_t migrations = 0;  ///< updates that crossed the predicate
   };
-  Counters counters() const { return counters_; }
+  Counters counters() const {
+    return {counters_.ops_applied.load(), counters_.ops_ignored.load(),
+            counters_.migrations.load()};
+  }
 
  private:
   HorizontalSplitRules(engine::Database* db, HorizontalSplitSpec spec,
@@ -111,7 +123,13 @@ class HorizontalSplitRules : public OperatorRules {
   std::shared_ptr<storage::Table> r_;
   std::shared_ptr<storage::Table> s_;
   size_t pred_col_ = 0;
-  Counters counters_;
+
+  /// Bumped from concurrent propagation workers; counters() snapshots.
+  struct {
+    std::atomic<size_t> ops_applied{0};
+    std::atomic<size_t> ops_ignored{0};
+    std::atomic<size_t> migrations{0};
+  } counters_;
 };
 
 }  // namespace morph::transform

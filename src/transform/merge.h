@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "engine/database.h"
@@ -45,6 +46,13 @@ class MergeRules : public OperatorRules {
   Status Prepare() override;
   Status InitialPopulate() override;
   Status Apply(const Op& op, std::vector<txn::RecordId>* affected) override;
+
+  /// T is keyed by the sources' (disjoint) primary keys and every rule is
+  /// an LSN-gated redo against T[k] only, so per-key LSN order suffices.
+  RouteKey RoutingKey(const Op& op) const override {
+    return RouteKey::Of(op.key);
+  }
+
   std::vector<txn::RecordId> AffectedTargets(TableId table,
                                              const Row& pk) override;
   std::vector<std::shared_ptr<storage::Table>> Targets() const override {
@@ -61,7 +69,9 @@ class MergeRules : public OperatorRules {
     size_t ops_applied = 0;
     size_t ops_ignored = 0;
   };
-  Counters counters() const { return counters_; }
+  Counters counters() const {
+    return {counters_.ops_applied.load(), counters_.ops_ignored.load()};
+  }
 
  private:
   MergeRules(engine::Database* db, MergeSpec spec,
@@ -74,7 +84,12 @@ class MergeRules : public OperatorRules {
   std::shared_ptr<storage::Table> r_;
   std::shared_ptr<storage::Table> s_;
   std::shared_ptr<storage::Table> t_;
-  Counters counters_;
+
+  /// Bumped from concurrent propagation workers; counters() snapshots.
+  struct {
+    std::atomic<size_t> ops_applied{0};
+    std::atomic<size_t> ops_ignored{0};
+  } counters_;
 };
 
 }  // namespace morph::transform

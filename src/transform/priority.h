@@ -18,6 +18,12 @@ namespace morph::transform {
 /// propagator sleeps `w * (1 - p) / p` µs, giving it a fraction `p` of
 /// wall-clock time. Sleeps are capped so a priority change takes effect
 /// quickly.
+///
+/// With the parallel propagation pipeline, the duty cycle gates the *reader
+/// stage only* (the coordinator thread scanning and dispatching log
+/// batches): apply workers merely drain what the reader admits, so
+/// throttling the reader throttles the whole pipeline regardless of worker
+/// count.
 class PriorityController {
  public:
   explicit PriorityController(double priority = 1.0) { set_priority(priority); }
@@ -51,7 +57,10 @@ class PriorityController {
 
  private:
   std::atomic<double> priority_{1.0};
-  /// Owed-but-unpaid sleep; only touched by the propagator thread.
+  /// Owed-but-unpaid sleep; only touched by the thread driving the work —
+  /// the pipeline's reader stage (the coordinator thread) during
+  /// propagation, or the populating thread during the initial scan. Apply
+  /// workers never call OnWorkDone.
   double sleep_debt_nanos_ = 0;
 };
 

@@ -1,0 +1,324 @@
+#include "transform/propagator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/failpoint.h"
+#include "wal/log_record.h"
+
+namespace morph::transform {
+
+namespace {
+constexpr Lsn kLsnMax = std::numeric_limits<Lsn>::max();
+}
+
+LogPropagator::LogPropagator(wal::Wal* wal, OperatorRules* rules,
+                             txn::TransformLockTable* tlocks,
+                             PriorityController* priority,
+                             PropagatorConfig config)
+    : wal_(wal),
+      rules_(rules),
+      tlocks_(tlocks),
+      priority_(priority),
+      config_(config) {
+  workers_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn after the vector is fully built: a worker thread must never see
+  // workers_ resize under it.
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+}
+
+LogPropagator::~LogPropagator() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    std::unique_lock lock(w->mu);
+    w->cv_nonempty.notify_all();
+    w->cv_space.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void LogPropagator::SetSources(const std::vector<TableId>& source_ids) {
+  sources_ = TableIdSet(source_ids);
+  primary_source_ = source_ids.empty() ? 0 : source_ids[0];
+}
+
+Lsn LogPropagator::FloorLsn() const {
+  Lsn floor = kLsnMax;
+  for (const auto& w : workers_) {
+    floor = std::min(floor, w->floor.load(std::memory_order_acquire));
+  }
+  return floor;
+}
+
+std::vector<PropagatorWorkerStats> LogPropagator::worker_stats() const {
+  std::vector<PropagatorWorkerStats> out;
+  out.reserve(workers_.size() + 1);
+  out.push_back(inline_stats_);
+  for (const auto& w : workers_) {
+    std::unique_lock lock(w->mu);
+    out.push_back(w->stats);
+  }
+  return out;
+}
+
+Status LogPropagator::ApplyOp(const Op& op, txn::LockOrigin origin) {
+  MORPH_FAILPOINT("transform.propagate.worker");
+  std::vector<txn::RecordId> affected;
+  MORPH_RETURN_NOT_OK(
+      rules_->Apply(op, config_.maintain_locks ? &affected : nullptr));
+  if (config_.maintain_locks && op.txn_id != kInvalidTxnId) {
+    // §3.3: locks are maintained on the transformed-table records for the
+    // whole transformation; conflicts among transferred locks are
+    // impossible by Figure 2, so this never blocks.
+    for (const txn::RecordId& rid : affected) {
+      tlocks_->AddTransferred(op.txn_id, rid, origin, txn::Access::kWrite);
+    }
+  }
+  ops_applied_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void LogPropagator::RecordFailure(const Status& st) {
+  {
+    std::unique_lock lock(err_mu_);
+    if (first_error_.ok()) first_error_ = st;
+  }
+  failed_.store(true, std::memory_order_release);
+  // A reader blocked on a full queue must re-check the failed_ flag.
+  for (auto& w : workers_) {
+    std::unique_lock lock(w->mu);
+    w->cv_space.notify_all();
+  }
+}
+
+void LogPropagator::RecordException(std::exception_ptr e) {
+  {
+    std::unique_lock lock(err_mu_);
+    if (!exception_) exception_ = std::move(e);
+  }
+  failed_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    std::unique_lock lock(w->mu);
+    w->cv_space.notify_all();
+  }
+}
+
+Status LogPropagator::TakeFailure() {
+  if (!failed_.load(std::memory_order_acquire)) return Status::OK();
+  // Workers are in drain-and-discard mode; wait until nothing is in flight,
+  // then surface the failure on this (the coordinator) thread — exceptions
+  // (CrashException from a crash failpoint) must not escape a std::thread.
+  WaitDrained();
+  std::unique_lock lock(err_mu_);
+  if (exception_) std::rethrow_exception(exception_);
+  return first_error_;
+}
+
+void LogPropagator::WorkerLoop(Worker* w) {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock lock(w->mu);
+      w->cv_nonempty.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) || !w->queue.empty();
+      });
+      if (w->queue.empty()) return;  // stopped and drained
+      item = std::move(w->queue.front());
+      w->queue.pop_front();
+      w->busy = true;
+      // The floor stays at the in-flight op's LSN until the apply finishes:
+      // FloorLsn() must never pass an op that has not fully landed.
+      w->floor.store(item.op.lsn, std::memory_order_release);
+      w->cv_space.notify_all();
+    }
+    bool applied = false;
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        const Status st = ApplyOp(item.op, item.origin);
+        if (st.ok()) {
+          applied = true;
+        } else {
+          RecordFailure(st);
+        }
+      } catch (...) {
+        RecordException(std::current_exception());
+      }
+    }
+    {
+      std::unique_lock lock(w->mu);
+      if (applied) w->stats.ops_applied++;
+      w->busy = false;
+      w->floor.store(w->queue.empty() ? kLsnMax : w->queue.front().op.lsn,
+                     std::memory_order_release);
+      if (w->queue.empty()) w->cv_space.notify_all();
+    }
+  }
+}
+
+void LogPropagator::Enqueue(size_t worker, Item item) {
+  Worker& w = *workers_[worker];
+  std::unique_lock lock(w.mu);
+  w.cv_space.wait(lock, [&] {
+    return w.queue.size() < config_.queue_capacity ||
+           failed_.load(std::memory_order_acquire) ||
+           stop_.load(std::memory_order_acquire);
+  });
+  if (failed_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    return;  // drain-and-discard: the failure surfaces via TakeFailure()
+  }
+  if (w.queue.empty() && !w.busy) {
+    w.floor.store(item.op.lsn, std::memory_order_release);
+  }
+  w.queue.push_back(std::move(item));
+  w.stats.max_queue_depth = std::max(w.stats.max_queue_depth, w.queue.size());
+  w.cv_nonempty.notify_one();
+}
+
+void LogPropagator::WaitDrained() {
+  for (auto& w : workers_) {
+    std::unique_lock lock(w->mu);
+    w->cv_space.wait(lock, [&] { return w->queue.empty() && !w->busy; });
+  }
+}
+
+void LogPropagator::FlushReleases(bool all) {
+  if (pending_releases_.empty()) return;
+  const Lsn floor = all ? kLsnMax : FloorLsn();
+  // pending_releases_ is LSN-ascending (the reader pushes in scan order),
+  // so a prefix check suffices. front.lsn < floor means every op of that
+  // transaction (all at lower LSNs than its completion record) has been
+  // applied — the §3.4 release rule, made barrier-free.
+  while (!pending_releases_.empty() && pending_releases_.front().first < floor) {
+    tlocks_->ReleaseTxn(pending_releases_.front().second);
+    pending_releases_.pop_front();
+  }
+}
+
+Status LogPropagator::DispatchData(Op op, txn::LockOrigin origin) {
+  if (!workers_.empty()) {
+    const RouteKey route = rules_->RoutingKey(op);
+    if (route.kind == RouteKey::Kind::kKey) {
+      const size_t widx = route.key.Hash() % workers_.size();
+      Enqueue(widx, Item{std::move(op), origin});
+      return Status::OK();
+    }
+    // Barrier op: every lower-LSN op must land first, then it runs alone on
+    // the reader thread.
+    WaitDrained();
+    MORPH_RETURN_NOT_OK(TakeFailure());
+  }
+  const Status st = ApplyOp(op, origin);
+  if (st.ok()) inline_stats_.ops_applied++;
+  return st;
+}
+
+Status LogPropagator::ProcessRecord(const wal::LogRecord& rec) {
+  switch (rec.type) {
+    case wal::LogRecordType::kInsert:
+    case wal::LogRecordType::kDelete:
+    case wal::LogRecordType::kUpdate:
+    case wal::LogRecordType::kClr: {
+      if (!sources_.contains(rec.table_id)) return Status::OK();
+      auto op = Op::FromLogRecord(rec);
+      if (!op) return Status::OK();
+      const txn::LockOrigin origin = rec.table_id == primary_source_
+                                         ? txn::LockOrigin::kSource0
+                                         : txn::LockOrigin::kSource1;
+      return DispatchData(*std::move(op), origin);
+    }
+    case wal::LogRecordType::kCommit:
+    case wal::LogRecordType::kTxnEnd:
+      // "Source table locks held in the transformed tables are released as
+      // soon as the propagator has processed the [completion] log record of
+      // the lock owner transaction" (§3.4). With workers, the release is
+      // deferred until the floor passes this LSN (see class comment) so
+      // commits do not serialize the pipeline.
+      if (workers_.empty()) {
+        tlocks_->ReleaseTxn(rec.txn_id);
+      } else {
+        pending_releases_.emplace_back(rec.lsn, rec.txn_id);
+      }
+      return Status::OK();
+    case wal::LogRecordType::kCcBegin:
+    case wal::LogRecordType::kCcOk:
+      // CC brackets are true barriers: the §5.3 verdict must observe every
+      // lower-LSN op, or a late-arriving disturbance would be missed and an
+      // unverified image blessed with a C flag.
+      WaitDrained();
+      MORPH_RETURN_NOT_OK(TakeFailure());
+      return rules_->OnControlRecord(rec);
+    default:
+      return Status::OK();
+  }
+}
+
+Result<size_t> LogPropagator::PropagateRange(
+    Lsn from, Lsn to, bool throttled, std::atomic<Lsn>* next_lsn,
+    const std::function<bool()>& cancel) {
+  size_t count = 0;
+  next_lsn->store(from, std::memory_order_release);
+  std::vector<wal::LogRecord> batch;
+  if (!workers_.empty()) batch.reserve(config_.batch_size);
+  Lsn next = from;
+  Status failure;
+  while (next <= to) {
+    const auto batch_start = Clock::Now();
+    const Lsn stop = std::min<Lsn>(to, next + config_.batch_size - 1);
+    if (workers_.empty()) {
+      // Serial: zero-copy chunked scan, applying by reference under the
+      // WAL's shared lock — copying every record out would make propagation
+      // as expensive as the transactions that produced it (see Wal::Scan).
+      wal_->Scan(next, stop, [&](const wal::LogRecord& rec) {
+        if (!failure.ok()) return;
+        failure = ProcessRecord(rec);
+        count++;
+      });
+    } else {
+      // Parallel: copy the batch out under one brief shared-lock
+      // acquisition (Wal::ScanInto), then dispatch without holding any WAL
+      // lock — Enqueue blocks on queue backpressure, and stalling there
+      // with the log's lock held would stall every appender with it. The
+      // copy cost is overlapped by the workers applying the previous batch.
+      batch.clear();
+      wal_->ScanInto(next, stop, config_.batch_size, &batch);
+      for (const wal::LogRecord& rec : batch) {
+        failure = ProcessRecord(rec);
+        count++;
+        if (!failure.ok()) break;
+      }
+    }
+    if (!failure.ok()) break;
+    next = stop + 1;
+    next_lsn->store(next, std::memory_order_release);
+    FlushReleases(/*all=*/false);
+    if (failed_.load(std::memory_order_acquire)) break;
+    if (throttled) {
+      // The duty cycle gates the reader stage only; workers drain whatever
+      // the reader admits. The slice measured is the reader's scan+dispatch
+      // time, so a low-priority transformation stays a light background
+      // load no matter how many workers it owns.
+      priority_->OnWorkDone(Clock::NanosSince(batch_start));
+      if (cancel && cancel()) break;
+    }
+  }
+  // Whatever the exit path: leave no op in flight and no release pending,
+  // so callers observe a fully applied prefix (and propagated_lsn() ==
+  // reader position again).
+  WaitDrained();
+  MORPH_RETURN_NOT_OK(TakeFailure());  // rethrows a worker CrashException
+  FlushReleases(/*all=*/true);
+  MORPH_RETURN_NOT_OK(failure);
+  return count;
+}
+
+}  // namespace morph::transform

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "transform/op.h"
+#include "transform/operator_rules.h"
+#include "transform/priority.h"
+#include "transform/table_id_set.h"
+#include "txn/transform_locks.h"
+#include "wal/wal.h"
+
+namespace morph::transform {
+
+struct PropagatorConfig {
+  /// Number of parallel apply workers. 0 = serial: the identical pipeline
+  /// code runs with one *inline* worker on the reader (coordinator) thread —
+  /// there is no separate serial implementation to drift out of sync.
+  size_t workers = 0;
+  /// Log records copied out of the WAL per reader batch.
+  size_t batch_size = 512;
+  /// Bounded per-worker queue capacity, in records.
+  size_t queue_capacity = 1024;
+  /// Mirror source-table locks onto the transformed tables (§3.3).
+  bool maintain_locks = true;
+};
+
+/// \brief Per-worker diagnostics, snapshotted into TransformStats.
+struct PropagatorWorkerStats {
+  size_t ops_applied = 0;
+  size_t max_queue_depth = 0;
+};
+
+/// \brief The log-propagation pipeline (paper §3.3), factored out of
+/// TransformCoordinator so the propagation path scales with cores.
+///
+/// Three stages:
+///
+///  1. **Reader** (the calling thread): scans the WAL in bounded LSN batches
+///     (Wal::ScanInto — one shared-lock acquisition per batch, so workers
+///     never touch the log's lock), filters for source-table records, and
+///     normalizes them into Ops. Priority duty-cycle throttling gates this
+///     stage only; workers simply drain what the reader admits.
+///  2. **Partitioner** (inline in the reader): routes each data record to
+///     one of N worker queues by hashing the operator-chosen
+///     OperatorRules::RoutingKey. Ops whose keys are equal hash to the same
+///     worker and therefore apply in LSN order — the per-record order that
+///     rules 1–11 and Theorem 1 assume. Barrier-keyed ops drain every
+///     worker, then apply inline on the reader thread.
+///  3. **Workers**: N threads popping bounded FIFO queues, applying ops via
+///     OperatorRules::Apply and mirroring locks via
+///     TransformLockTable::AddTransferred.
+///
+/// **Watermark.** Each worker publishes a floor: the LSN of its oldest
+/// queued or in-flight op (LSN-max when idle). FloorLsn() is the minimum
+/// across workers; everything below min(reader position, FloorLsn()) has
+/// been fully applied, which is what keeps Wal::TruncateBefore safe.
+///
+/// **Completion barrier.** kCommit/kTxnEnd must not release a transaction's
+/// mirrored locks until every one of its ops has been applied (they all
+/// have lower LSNs). Instead of a full drain per completion record — which
+/// would serialize the pipeline on every commit — releases are *deferred*:
+/// queued as (lsn, txn) and flushed once FloorLsn() has passed their LSN
+/// (checked per batch, and unconditionally after the end-of-range drain).
+/// kCcBegin/kCcOk genuinely drain all workers and then run
+/// OnControlRecord inline: the CC verdict must observe every lower-LSN op,
+/// or a late-arriving disturbance would be missed (§5.3).
+///
+/// **Failure.** A worker that gets a non-OK Status (or an exception — the
+/// deterministic failpoint "transform.propagate.worker" throws
+/// CrashException in crash tests) records it, flips the pipeline into a
+/// drain-and-discard mode, and the reader rethrows/returns it from
+/// PropagateRange on its own thread — exceptions never cross a std::thread
+/// boundary.
+///
+/// Thread safety: PropagateRange must be called from one thread at a time
+/// (the coordinator thread). FloorLsn() and stats accessors are safe from
+/// any thread.
+class LogPropagator {
+ public:
+  LogPropagator(wal::Wal* wal, OperatorRules* rules,
+                txn::TransformLockTable* tlocks, PriorityController* priority,
+                PropagatorConfig config);
+  ~LogPropagator();
+
+  LogPropagator(const LogPropagator&) = delete;
+  LogPropagator& operator=(const LogPropagator&) = delete;
+
+  /// \brief Installs the source-table filter. Must be called after the
+  /// operator's Prepare(), before the first PropagateRange(). `source_ids`
+  /// is in OperatorRules::Sources() order: the first entry gets
+  /// LockOrigin::kSource0, any other kSource1.
+  void SetSources(const std::vector<TableId>& source_ids);
+
+  /// \brief Processes log records [from, to]; returns the count processed.
+  /// On return every processed op has been fully applied (workers drained)
+  /// and every deferred lock release flushed. `next_lsn` is kept at the
+  /// reader's position (the next LSN to read) throughout. `throttled`
+  /// applies the priority duty cycle to the reader between batches.
+  /// `cancel` (optional) is polled between batches; returning true stops
+  /// early after a drain.
+  Result<size_t> PropagateRange(Lsn from, Lsn to, bool throttled,
+                                std::atomic<Lsn>* next_lsn,
+                                const std::function<bool()>& cancel);
+
+  /// \brief Min-across-workers watermark: no op with an LSN below this is
+  /// still queued or in flight. LSN-max when all workers are idle.
+  Lsn FloorLsn() const;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// \brief Total ops applied (all workers + inline).
+  size_t ops_applied() const {
+    return ops_applied_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Per-worker diagnostics. Entry 0 is the reader's inline worker
+  /// (all ops when serial, barrier ops when parallel), followed by one
+  /// entry per queue worker.
+  std::vector<PropagatorWorkerStats> worker_stats() const;
+
+ private:
+  struct Item {
+    Op op;
+    txn::LockOrigin origin;
+  };
+
+  struct Worker {
+    mutable std::mutex mu;
+    std::condition_variable cv_nonempty;  ///< wakes the worker
+    std::condition_variable cv_space;     ///< wakes the reader (space/drained)
+    std::deque<Item> queue;               ///< FIFO, pushed in LSN order
+    bool busy = false;                    ///< an op is being applied
+    /// LSN of the oldest queued/in-flight op; LSN-max when idle. Updated
+    /// under mu, stored atomically so FloorLsn() never takes queue locks.
+    std::atomic<Lsn> floor{std::numeric_limits<Lsn>::max()};
+    PropagatorWorkerStats stats;  ///< guarded by mu
+    std::thread thread;
+  };
+
+  void WorkerLoop(Worker* w);
+  /// Handles one log record (data op / txn completion / CC bracket).
+  Status ProcessRecord(const wal::LogRecord& rec);
+  /// The apply step shared by workers and the serial inline path.
+  Status ApplyOp(const Op& op, txn::LockOrigin origin);
+  /// Routes one data op: hash-partition to a worker queue, or (barrier /
+  /// serial) drain + apply inline. Inline application propagates exceptions
+  /// on the reader thread.
+  Status DispatchData(Op op, txn::LockOrigin origin);
+  void Enqueue(size_t worker, Item item);
+  /// Blocks until every worker queue is empty and no op is in flight.
+  void WaitDrained();
+  /// Applies deferred lock releases whose LSN the floor has passed
+  /// (`all` forces everything — only valid after WaitDrained()).
+  void FlushReleases(bool all);
+  void RecordFailure(const Status& st);
+  void RecordException(std::exception_ptr e);
+  /// Rethrows/returns a worker-recorded failure, if any (reader thread).
+  Status TakeFailure();
+
+  wal::Wal* wal_;
+  OperatorRules* rules_;
+  txn::TransformLockTable* tlocks_;
+  PriorityController* priority_;
+  const PropagatorConfig config_;
+
+  TableIdSet sources_;
+  TableId primary_source_ = 0;  ///< LockOrigin::kSource0
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  /// Set on the first worker failure: workers drain-and-discard from then
+  /// on so the reader can never block against a dead pipeline.
+  std::atomic<bool> failed_{false};
+
+  std::mutex err_mu_;
+  Status first_error_;            ///< guarded by err_mu_
+  std::exception_ptr exception_;  ///< guarded by err_mu_
+
+  /// Deferred (lsn, txn) lock releases, reader-thread only; LSN-ascending.
+  std::deque<std::pair<Lsn, TxnId>> pending_releases_;
+
+  std::atomic<size_t> ops_applied_{0};
+  PropagatorWorkerStats inline_stats_;  ///< reader-thread only
+};
+
+}  // namespace morph::transform

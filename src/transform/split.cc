@@ -203,40 +203,46 @@ Status SplitRules::BumpS(const Row& s_key, int delta, Lsn lsn,
                          std::vector<txn::RecordId>* affected) {
   if (affected != nullptr) affected->push_back({s_->id(), s_key});
   TouchSplitValue(s_key);
-  int64_t new_counter = -1;
-  const Status st = s_->Mutate(s_key, [&](storage::Record* rec) {
+  // One atomic step against the bucket: existence check, counter bump,
+  // image/LSN maintenance and removal-at-zero all happen under the shard
+  // mutex (Table::Rmw). Under parallel propagation, workers handling
+  // distinct T-keys bump the same bucket concurrently; splitting this into
+  // a Mutate plus a separate Insert (when absent) or Delete (at zero) would
+  // lose bumps landing in the window between the two steps.
+  using Action = storage::Table::RmwAction;
+  return s_->Rmw(s_key, [&](storage::Record* rec, bool exists) {
+    if (!exists) {
+      // Decrement of a missing record: nothing to do (already gone).
+      if (delta <= 0 || insert_image == nullptr) return Action::kKeep;
+      rec->row = *insert_image;
+      rec->lsn = lsn;
+      rec->counter = 1;
+      rec->consistent = true;
+      return Action::kPut;
+    }
     rec->counter += delta;
-    if (lsn > rec->lsn) rec->lsn = lsn;
-    if (delta > 0 && insert_image != nullptr && !spec_.assume_consistent &&
-        rec->row != *insert_image) {
-      // §5.3: inserting an s^x that differs from the stored image makes the
-      // record's consistency unknown.
-      rec->consistent = false;
+    if (rec->counter <= 0) {
+      // "If the counter of a record reaches zero, the record is removed."
+      return Action::kErase;
     }
-    new_counter = rec->counter;
-    return true;
+    if (insert_image != nullptr) {
+      if (!spec_.assume_consistent && rec->row != *insert_image) {
+        // §5.3: inserting an s^x that differs from the stored image makes
+        // the record's consistency unknown.
+        rec->consistent = false;
+      }
+      // The record's LSN tracks the newest *image-bearing* operation
+      // applied — pure membership bumps do not advance it — and a newer
+      // full image replaces the stored one. That makes bucket maintenance
+      // commute across workers: in any arrival order the max-LSN image
+      // wins, which is exactly what the serial LSN order leaves behind.
+      if (lsn > rec->lsn) {
+        rec->row = *insert_image;
+        rec->lsn = lsn;
+      }
+    }
+    return Action::kPut;
   });
-  if (st.IsNotFound()) {
-    if (delta > 0 && insert_image != nullptr) {
-      storage::Record rec;
-      rec.row = *insert_image;
-      rec.lsn = lsn;
-      rec.counter = 1;
-      rec.consistent = true;
-      const Status ins = s_->Insert(std::move(rec));
-      if (!ins.ok() && !ins.IsAlreadyExists()) return ins;
-      return Status::OK();
-    }
-    // Decrement of a missing record: nothing to do (already gone).
-    return Status::OK();
-  }
-  MORPH_RETURN_NOT_OK(st);
-  if (new_counter <= 0) {
-    // "If the counter of a record reaches zero, the record is removed."
-    const Status del = s_->Delete(s_key);
-    if (!del.ok() && !del.IsNotFound()) return del;
-  }
-  return Status::OK();
 }
 
 // --- dispatch ----------------------------------------------------------------

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -69,6 +70,18 @@ class SplitRules : public OperatorRules {
   Status Prepare() override;
   Status InitialPopulate() override;
   Status Apply(const Op& op, std::vector<txn::RecordId>* affected) override;
+
+  /// Every rule reads and writes only the R (or P) record keyed by the op's
+  /// own T-key, plus the S bucket(s) named by that record's split value —
+  /// and all S-bucket maintenance goes through single atomic Table::Rmw /
+  /// Mutate steps (counter bumps commute; image writes are gated on the
+  /// bucket's image LSN, so max-LSN wins in any arrival order). Per-T-key
+  /// LSN order is therefore all rules 8–11 need: route by the source
+  /// primary key.
+  RouteKey RoutingKey(const Op& op) const override {
+    return RouteKey::Of(op.key);
+  }
+
   Status OnControlRecord(const wal::LogRecord& rec) override;
   std::vector<txn::RecordId> AffectedTargets(TableId table,
                                              const Row& pk) override;
@@ -104,7 +117,10 @@ class SplitRules : public OperatorRules {
     size_t cc_upgrades = 0;   ///< U→C flips applied by the propagator
     size_t cc_disturbed = 0;  ///< CC brackets invalidated by concurrent ops
   };
-  Counters counters() const { return counters_; }
+  Counters counters() const {
+    return {counters_.ops_applied.load(), counters_.ops_ignored.load(),
+            counters_.cc_upgrades.load(), counters_.cc_disturbed.load()};
+  }
 
  private:
   SplitRules(engine::Database* db, SplitSpec spec,
@@ -153,7 +169,13 @@ class SplitRules : public OperatorRules {
   mutable std::mutex cc_mu_;
   std::unordered_map<Row, bool, RowHasher> cc_open_;
 
-  Counters counters_;
+  /// Bumped from concurrent propagation workers; counters() snapshots.
+  struct {
+    std::atomic<size_t> ops_applied{0};
+    std::atomic<size_t> ops_ignored{0};
+    std::atomic<size_t> cc_upgrades{0};
+    std::atomic<size_t> cc_disturbed{0};
+  } counters_;
 };
 
 }  // namespace morph::transform

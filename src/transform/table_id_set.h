@@ -1,0 +1,37 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+
+namespace morph::transform {
+
+/// \brief A tiny immutable set of table ids over a sorted vector.
+///
+/// A transformation involves a handful of tables (at most four today:
+/// FOJ's two sources + one target, a split's one source + two targets), so
+/// membership tests were written as linear scans in several places in the
+/// coordinator. This consolidates them behind one type; binary search over a
+/// sorted vector keeps the partitioner's per-record hot path branch-cheap
+/// and cache-resident.
+class TableIdSet {
+ public:
+  TableIdSet() = default;
+  explicit TableIdSet(std::vector<TableId> ids) : ids_(std::move(ids)) {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  bool contains(TableId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  bool empty() const { return ids_.empty(); }
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::vector<TableId> ids_;
+};
+
+}  // namespace morph::transform

@@ -42,6 +42,16 @@ enum class Access : uint8_t { kRead = 0, kWrite = 1 };
 ///    conflicting transferred locks are released. Transferred locks are
 ///    released when the propagator processes the owner's commit/abort log
 ///    record (ReleaseTxn).
+///
+/// Thread safety: every method takes `mu_` for its whole critical section,
+/// so the table is safe under the parallel propagation pipeline, where
+/// AddTransferred is called concurrently from N apply-worker threads (and,
+/// under non-blocking commit, from client threads running OnOp) while the
+/// reader thread calls ReleaseTxn and post-switch client threads call
+/// AcquireTarget/ReleaseTxn. AddTransferred's duplicate collapse and
+/// held_-list append are a single atomic step under `mu_`, so two workers
+/// mirroring locks for the same transaction cannot tear the entry lists;
+/// ReleaseTxn wakes AcquireTarget waiters via `cv_` under the same mutex.
 class TransformLockTable {
  public:
   explicit TransformLockTable(int64_t wait_timeout_micros = 5'000'000)

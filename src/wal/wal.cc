@@ -76,6 +76,20 @@ Lsn Wal::Scan(Lsn from, Lsn to,
   return last;
 }
 
+Lsn Wal::ScanInto(Lsn from, Lsn to, size_t max_records,
+                  std::vector<LogRecord>* out) const {
+  std::shared_lock lock(mu_);
+  if (records_.empty() || max_records == 0) return kInvalidLsn;
+  Lsn next = std::max(from, base_lsn_);
+  const Lsn end = std::min<Lsn>(to, base_lsn_ + records_.size() - 1);
+  if (next > end) return kInvalidLsn;
+  const Lsn stop = std::min<Lsn>(end, next + max_records - 1);
+  for (Lsn l = next; l <= stop; ++l) {
+    out->push_back(records_[l - base_lsn_]);
+  }
+  return stop;
+}
+
 void Wal::TruncateBefore(Lsn keep_from) {
   MORPH_FAILPOINT_VOID("wal.truncate");
   // Move the truncated prefix out under the lock and destroy it outside:

@@ -4,6 +4,7 @@
 #include <functional>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -54,6 +55,17 @@ class Wal {
   /// therefore not call back into this Wal — the log propagator, the main
   /// scanner, never does: propagation writes tables, not log records.
   Lsn Scan(Lsn from, Lsn to, const std::function<void(const LogRecord&)>& fn) const;
+
+  /// \brief Copies up to `max_records` records with `from <= lsn <= to` into
+  /// `out` (appended), in LSN order, under a single shared-lock acquisition.
+  /// Returns the last LSN copied (kInvalidLsn if none).
+  ///
+  /// This is the batched read the parallel log propagator uses: the reader
+  /// stage copies one bounded chunk out and releases the lock before handing
+  /// records to worker queues, so workers never touch the log's lock and
+  /// appenders only ever contend with one bounded copy at a time.
+  Lsn ScanInto(Lsn from, Lsn to, size_t max_records,
+               std::vector<LogRecord>* out) const;
 
   /// \brief Discards records with lsn < `keep_from` (log archiving /
   /// checkpoint truncation). At()/Scan() treat the dropped range as absent.

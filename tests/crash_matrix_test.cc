@@ -48,6 +48,26 @@ using morph::testing::WithCommittedUpdates;
 /// touch it, so the loser's lock acquisition cannot conflict.
 constexpr int64_t kReservedKey = 1000;
 
+/// Key reserved for the deterministic *straddler* transaction: begun (and
+/// its update logged) before the transformation starts, still active at the
+/// fuzzy mark, committed right after. Being in the mark's active snapshot
+/// drags the propagation start below its update, so every cell replays at
+/// least one source-table op through the apply path — pinning the
+/// data-dependent "transform.propagate.worker" site on the deterministic
+/// path regardless of writer timing.
+constexpr int64_t kStraddlerKey = 1001;
+
+/// Blocks until the coordinator has logged the fuzzy mark (entered
+/// kPopulating) or the run ended first (e.g. an armed crash fired earlier).
+void AwaitMarkOrEnd(const TransformCoordinator& coord,
+                    std::future<Result<TransformStats>>& fut) {
+  while (coord.phase() < TransformCoordinator::Phase::kPopulating &&
+         fut.wait_for(std::chrono::milliseconds(0)) !=
+             std::future_status::ready) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
 struct Scenario {
   std::string name;
   /// Creates the source tables in a fixed order (table ids must line up
@@ -83,6 +103,7 @@ Scenario FojScenario() {
     sc.writer_keys.push_back(i);
   }
   r_rows.push_back(Row({kReservedKey, 5, "z"}));
+  r_rows.push_back(Row({kStraddlerKey, 5, "z"}));
   std::vector<Row> s_rows;
   for (int i = 0; i < 12; ++i) s_rows.push_back(Row({i, i, "s"}));
   sc.initial_rows = {r_rows, s_rows};
@@ -115,6 +136,7 @@ std::vector<Row> SplitSourceRows(std::vector<int64_t>* writer_keys) {
     if (writer_keys != nullptr) writer_keys->push_back(i);
   }
   t_rows.push_back(Row({kReservedKey, 7000, "city7000", "z"}));
+  t_rows.push_back(Row({kStraddlerKey, 7000, "city7000", "z"}));
   return t_rows;
 }
 
@@ -182,9 +204,10 @@ Scenario HSplitScenario() {
   return sc;
 }
 
-TransformConfig CellConfig(SyncStrategy strategy) {
+TransformConfig CellConfig(SyncStrategy strategy, size_t workers = 0) {
   TransformConfig config;
   config.strategy = strategy;
+  config.propagate_workers = workers;
   config.drop_sources = false;  // recovery recreates sources; keep symmetric
   // Bounds the whole run, the drain, and — critically — how long a writer
   // stays parked at the blocking gate when a crash cell kills the
@@ -197,7 +220,8 @@ TransformConfig CellConfig(SyncStrategy strategy) {
 /// Runs the transformation once, cleanly, with tracing on, and returns the
 /// transform-path failpoints this (operator, strategy) pair crosses.
 std::vector<std::string> EnumerateSites(const Scenario& sc,
-                                        SyncStrategy strategy) {
+                                        SyncStrategy strategy,
+                                        size_t workers) {
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
@@ -214,8 +238,20 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
   EXPECT_TRUE(writers.WaitForCommits(5));
 
   auto rules = sc.make_rules(&db);
-  TransformCoordinator coord(&db, rules, CellConfig(strategy));
-  auto run = coord.Run();
+  TransformCoordinator coord(&db, rules, CellConfig(strategy, workers));
+  auto straddler = db.Begin();
+  EXPECT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
+                        Row({kStraddlerKey}),
+                        {{sc.writer_column, Value("straddle")}})
+                  .ok());
+  auto fut = std::async(std::launch::async, [&] { return coord.Run(); });
+  AwaitMarkOrEnd(coord, fut);
+  // Under non-blocking abort a fast run can doom the straddler (it is a
+  // source-lock holder at switch-over) before this commit lands; its
+  // update was logged before the mark either way, which is all the site
+  // enumeration needs.
+  (void)db.Commit(straddler);
+  auto run = fut.get();
   writers.StopAndJoin();
   EXPECT_TRUE(run.ok()) << run.status().ToString();
   if (run.ok()) {
@@ -229,17 +265,17 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
 }
 
 /// One matrix cell: crash at `site`, recover, verify (a)-(c) above.
-void RunCrashCell(const Scenario& sc, SyncStrategy strategy,
+void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
                   const std::string& site) {
   SCOPED_TRACE(sc.name + " / " + std::string(SyncStrategyToString(strategy)) +
-               " / crash at " + site);
+               " / workers=" + std::to_string(workers) + " / crash at " + site);
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
 
   std::string path = ::testing::TempDir() + "/morph_crash_" + sc.name + "_" +
-                     std::string(SyncStrategyToString(strategy)) + "_" + site +
-                     ".log";
+                     std::string(SyncStrategyToString(strategy)) + "_w" +
+                     std::to_string(workers) + "_" + site + ".log";
   for (char& c : path) {
     if (c == '.') c = '_';
   }
@@ -259,9 +295,20 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy,
     ASSERT_TRUE(writers.WaitForCommits(5));
 
     auto rules = sc.make_rules(&db);
-    TransformCoordinator coord(&db, rules, CellConfig(strategy));
+    TransformCoordinator coord(&db, rules, CellConfig(strategy, workers));
+    auto straddler = db.Begin();
+    ASSERT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
+                          Row({kStraddlerKey}),
+                          {{sc.writer_column, Value("straddle")}})
+                    .ok());
     fps.Crash(site);
     auto fut = std::async(std::launch::async, [&] { return coord.Run(); });
+    // Commit the straddler once the mark (and with it the active snapshot
+    // containing the straddler) is logged; as a source-lock holder it is
+    // never parked at the blocking gate, so this cannot deadlock whichever
+    // phase the armed crash leaves behind.
+    AwaitMarkOrEnd(coord, fut);
+    const bool straddler_committed = db.Commit(straddler).ok();
     bool crashed = false;
     try {
       auto run = fut.get();
@@ -290,6 +337,13 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy,
               ? WithCommittedUpdates(sc.initial_rows[i], sc.writer_column,
                                      committed)
               : sc.initial_rows[i]);
+    }
+    if (straddler_committed) {
+      for (Row& row : expected_sources[sc.writer_table]) {
+        if (row[0] == Value(kStraddlerKey)) {
+          row[sc.writer_column] = Value("straddle");
+        }
+      }
     }
 
     // One deterministic loser: an update left uncommitted at the crash
@@ -349,8 +403,9 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy,
   std::remove(path.c_str());
 }
 
-void RunMatrixRow(const Scenario& sc, SyncStrategy strategy) {
-  const auto sites = EnumerateSites(sc, strategy);
+void RunMatrixRow(const Scenario& sc, SyncStrategy strategy,
+                  size_t workers = 0) {
+  const auto sites = EnumerateSites(sc, strategy, workers);
   ASSERT_FALSE(sites.empty());
   // Sanity-pin the coverage: the phase boundaries every strategy crosses.
   for (const char* expected :
@@ -361,7 +416,7 @@ void RunMatrixRow(const Scenario& sc, SyncStrategy strategy) {
         << "tracing run did not cross " << expected;
   }
   for (const std::string& site : sites) {
-    RunCrashCell(sc, strategy, site);
+    RunCrashCell(sc, strategy, workers, site);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -392,6 +447,26 @@ TEST(CrashMatrixTest, HSplitNonBlockingAbort) {
 }
 TEST(CrashMatrixTest, HSplitNonBlockingCommit) {
   RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingCommit);
+}
+
+// --- parallel propagation rows ----------------------------------------------
+//
+// Same matrix, but the propagation pipeline runs with apply workers: the
+// "transform.propagate.worker" site now fires on a *worker* thread, and the
+// propagator must funnel the CrashException back to the coordinator thread
+// (TakeFailure) after draining — the recovery contract is unchanged, because
+// a crash anywhere in the pipeline is still just a dead incarnation whose
+// only surviving state is the WAL.
+TEST(CrashMatrixTest, FojNonBlockingAbortParallel) {
+  RunMatrixRow(FojScenario(), SyncStrategy::kNonBlockingAbort, /*workers=*/3);
+}
+TEST(CrashMatrixTest, VSplitNonBlockingAbortParallel) {
+  RunMatrixRow(VSplitScenario(), SyncStrategy::kNonBlockingAbort,
+               /*workers=*/3);
+}
+TEST(CrashMatrixTest, HSplitNonBlockingAbortParallel) {
+  RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort,
+               /*workers=*/3);
 }
 
 // --- engine-seam crashes ----------------------------------------------------

@@ -239,6 +239,111 @@ TEST(TableTest, ClearEmptiesTableAndIndexes) {
   EXPECT_EQ(t.GetIndex("i")->Count(Row({"v"})), 0u);
 }
 
+// --- Rmw --------------------------------------------------------------------------
+
+TEST(TableTest, RmwInsertsWhenAbsentAndErasesOnDemand) {
+  Table t(1, "t", TwoColSchema());
+  // Absent + kKeep: stays absent.
+  ASSERT_TRUE(t.Rmw(Row({1}), [](Record*, bool exists) {
+                 EXPECT_FALSE(exists);
+                 return Table::RmwAction::kKeep;
+               }).ok());
+  EXPECT_FALSE(t.Contains(Row({1})));
+  // Absent + kPut: inserts.
+  ASSERT_TRUE(t.Rmw(Row({1}), [](Record* rec, bool exists) {
+                 EXPECT_FALSE(exists);
+                 rec->row = Row({1, "a"});
+                 rec->counter = 1;
+                 return Table::RmwAction::kPut;
+               }).ok());
+  EXPECT_EQ(t.Get(Row({1}))->counter, 1);
+  // Present + kPut: replaces.
+  ASSERT_TRUE(t.Rmw(Row({1}), [](Record* rec, bool exists) {
+                 EXPECT_TRUE(exists);
+                 rec->counter++;
+                 return Table::RmwAction::kPut;
+               }).ok());
+  EXPECT_EQ(t.Get(Row({1}))->counter, 2);
+  // Present + kErase: removes.
+  ASSERT_TRUE(t.Rmw(Row({1}), [](Record*, bool) {
+                 return Table::RmwAction::kErase;
+               }).ok());
+  EXPECT_FALSE(t.Contains(Row({1})));
+}
+
+TEST(TableTest, RmwMaintainsIndexes) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_val", {"val"}).ok());
+  ASSERT_TRUE(t.Rmw(Row({1}), [](Record* rec, bool) {
+                 rec->row = Row({1, "a"});
+                 return Table::RmwAction::kPut;
+               }).ok());
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"a"})), 1u);
+  ASSERT_TRUE(t.Rmw(Row({1}), [](Record* rec, bool) {
+                 rec->row = Row({1, "b"});
+                 return Table::RmwAction::kPut;
+               }).ok());
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"a"})), 0u);
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"b"})), 1u);
+  ASSERT_TRUE(t.Rmw(Row({1}), [](Record*, bool) {
+                 return Table::RmwAction::kErase;
+               }).ok());
+  EXPECT_EQ(t.GetIndex("by_val")->Count(Row({"b"})), 0u);
+}
+
+// --- ForEach action consistency ---------------------------------------------------
+
+// Regression test: ForEach used to alias FuzzyScan, which releases shard
+// locks between shards — a concurrent writer could then produce a *torn*
+// view matching no prefix of the action sequence. The writer below keeps a
+// cross-shard invariant: each round first adds +1 to every "credit" record,
+// then -1 to every "debit" record, so after any prefix of single-record
+// actions sum(counters) ∈ [0, kPairs]. A fuzzy view can miss a credit
+// increment but catch the matching debit decrement (negative sum) or see
+// extra credits from a later round (sum > kPairs); an action-consistent
+// ForEach pass never can.
+TEST(TableTest, ForEachIsActionConsistentUnderConcurrentWriter) {
+  constexpr int64_t kPairs = 16;
+  Table t(1, "t", TwoColSchema());
+  // Even ids are credits, odd ids debits; ids spread over all shards.
+  for (int64_t i = 0; i < 2 * kPairs; ++i) {
+    ASSERT_TRUE(t.Insert(Rec(i, i % 2 == 0 ? "credit" : "debit")).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int64_t i = 0; i < 2 * kPairs; i += 2) {
+        ASSERT_TRUE(t.Mutate(Row({i}), [](Record* rec) {
+                       rec->counter++;
+                       return true;
+                     }).ok());
+      }
+      for (int64_t i = 1; i < 2 * kPairs; i += 2) {
+        ASSERT_TRUE(t.Mutate(Row({i}), [](Record* rec) {
+                       rec->counter--;
+                       return true;
+                     }).ok());
+      }
+    }
+  });
+  for (int pass = 0; pass < 400; ++pass) {
+    int64_t sum = 0;
+    size_t seen = 0;
+    t.ForEach([&](const Record& rec) {
+      sum += rec.counter;
+      seen++;
+      // Hand the writer the CPU mid-scan: a shard-at-a-time fuzzy scan tears
+      // here, an all-shards-locked pass cannot.
+      std::this_thread::yield();
+    });
+    EXPECT_EQ(seen, static_cast<size_t>(2 * kPairs));
+    EXPECT_GE(sum, 0) << "torn view: caught a debit without its credit";
+    EXPECT_LE(sum, kPairs) << "torn view: caught credits of a later round";
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
 TEST(TableTest, CompositeKeys) {
   auto schema = *Schema::Make({{"a", ValueType::kInt64, false},
                                {"b", ValueType::kString, false},
