@@ -6,6 +6,13 @@
 
 namespace morph::bench {
 
+/// \brief Propagation backlog at one instant of a measurement
+/// (`wal->LastLsn() - coord.propagated_lsn()`, in log records).
+struct BacklogSample {
+  double at_seconds = 0;  ///< since the measurement started
+  uint64_t records = 0;
+};
+
 /// \brief One measurement point of a Figure-4-style interference sweep.
 struct InterferencePoint {
   double workload_pct = 0;
@@ -13,7 +20,18 @@ struct InterferencePoint {
   double during_tps = 0;
   double base_resp_micros = 0;
   double during_resp_micros = 0;
+  double base_p50_micros = 0;
+  double during_p50_micros = 0;
+  double base_p99_micros = 0;
+  double during_p99_micros = 0;
   double priority_used = 0;
+  /// Duty cycle the throttle actually realized over the on-windows
+  /// (work / (work + sleep) from PriorityController::totals() deltas);
+  /// compare against priority_used for throttle fidelity.
+  double duty_achieved = 0;
+  /// Backlog over time, sampled ~every 20 ms across the whole interleaved
+  /// measurement (pause phases included — the sawtooth is the point).
+  std::vector<BacklogSample> backlog;
   bool valid = false;
 
   double relative_throughput() const {
@@ -146,10 +164,9 @@ inline double CalibratePropagationCapacity(double t_share,
 /// capacity drifts by tens of percent over multi-second scales, so a
 /// before-vs-minutes-later comparison is meaningless — adjacent windows
 /// cancel the drift.
-inline InterferencePoint MeasurePropagationInterference(double workload_pct,
-                                                        double peak_tps,
-                                                        double t_share,
-                                                        double capacity) {
+inline InterferencePoint MeasurePropagationInterference(
+    double workload_pct, double peak_tps, double t_share, double capacity,
+    int pairs = 4, int64_t window_micros = 700'000) {
   InterferencePoint point;
   point.workload_pct = workload_pct;
 
@@ -178,21 +195,53 @@ inline InterferencePoint MeasurePropagationInterference(double workload_pct,
 
   bool window_ok = false;
   std::vector<double> off_tps, on_tps, off_resp, on_resp;
+  std::vector<double> off_p50, on_p50, off_p99, on_p99;
+  transform::PriorityController::DutyTotals on_delta;
   if (WaitForPhase(coord, transform::TransformCoordinator::Phase::kPropagating)) {
     coord.set_priority(priority);
     std::this_thread::sleep_for(std::chrono::milliseconds(300));
-    for (int pair = 0; pair < 4; ++pair) {
+
+    // Backlog sampler: covers the whole interleaved measurement so the
+    // pause/resume sawtooth (growth while paused, drain while running) is
+    // visible in the exported series.
+    std::atomic<bool> sampling{true};
+    std::vector<BacklogSample> backlog;
+    std::thread sampler([&] {
+      const auto t0 = Clock::Now();
+      while (sampling.load(std::memory_order_acquire)) {
+        const Lsn last = scenario.db->wal()->LastLsn();
+        const Lsn prop = coord.propagated_lsn();
+        BacklogSample s;
+        s.at_seconds = Clock::MicrosSince(t0) / 1e6;
+        s.records = (prop != kInvalidLsn && last > prop) ? last - prop : 0;
+        backlog.push_back(s);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+
+    for (int pair = 0; pair < pairs; ++pair) {
       coord.SetPaused(true);
       std::this_thread::sleep_for(std::chrono::milliseconds(150));
-      const WorkloadRates off = MeasureWindow(&workload, 700'000);
+      const WorkloadRates off = MeasureWindow(&workload, window_micros);
       coord.SetPaused(false);
       std::this_thread::sleep_for(std::chrono::milliseconds(150));
-      const WorkloadRates on = MeasureWindow(&workload, 700'000);
+      const auto duty_before = coord.duty_totals();
+      const WorkloadRates on = MeasureWindow(&workload, window_micros);
+      const auto duty_after = coord.duty_totals();
+      on_delta.work_nanos += duty_after.work_nanos - duty_before.work_nanos;
+      on_delta.slept_nanos += duty_after.slept_nanos - duty_before.slept_nanos;
       off_tps.push_back(off.tps);
       on_tps.push_back(on.tps);
       off_resp.push_back(off.avg_response_micros);
       on_resp.push_back(on.avg_response_micros);
+      off_p50.push_back(off.p50_response_micros);
+      on_p50.push_back(on.p50_response_micros);
+      off_p99.push_back(off.p99_response_micros);
+      on_p99.push_back(on.p99_response_micros);
     }
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+    point.backlog = std::move(backlog);
     window_ok = true;
   }
   coord.SetPaused(false);
@@ -207,6 +256,11 @@ inline InterferencePoint MeasurePropagationInterference(double workload_pct,
     point.during_tps = MedianOf(on_tps);
     point.base_resp_micros = MedianOf(off_resp);
     point.during_resp_micros = MedianOf(on_resp);
+    point.base_p50_micros = MedianOf(off_p50);
+    point.during_p50_micros = MedianOf(on_p50);
+    point.base_p99_micros = MedianOf(off_p99);
+    point.during_p99_micros = MedianOf(on_p99);
+    point.duty_achieved = on_delta.achieved();
   }
   janitor.SetCoordinator(nullptr);
   return point;

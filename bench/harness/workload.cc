@@ -168,7 +168,9 @@ WorkloadRates Workload::RatesBetween(const WorkloadSnapshot& a,
   for (size_t i = 0; i < window.buckets.size(); ++i) {
     window.buckets[i] = b.hist.buckets[i] - a.hist.buckets[i];
   }
+  rates.p50_response_micros = window.QuantileMicros(0.50);
   rates.p95_response_micros = window.QuantileMicros(0.95);
+  rates.p99_response_micros = window.QuantileMicros(0.99);
   return rates;
 }
 

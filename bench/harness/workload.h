@@ -72,7 +72,9 @@ struct WorkloadRates {
   double seconds = 0;
   double tps = 0;
   double avg_response_micros = 0;
+  double p50_response_micros = 0;
   double p95_response_micros = 0;
+  double p99_response_micros = 0;
   uint64_t committed = 0;
   uint64_t aborted = 0;
 };

@@ -1,0 +1,56 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace morph::trace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Traces& Traces::Instance() {
+  static Traces* instance = new Traces();
+  return *instance;
+}
+
+Ring* Traces::RingForThisThread() {
+  // The thread_local keeps a shared_ptr so the ring outlives neither-nor
+  // scenarios cleanly: the registry's copy keeps a dead thread's events
+  // snapshottable, the thread's copy keeps the ring valid even if ClearAll
+  // raced thread start.
+  thread_local std::shared_ptr<Ring> ring = [this] {
+    auto r = std::make_shared<Ring>();
+    std::lock_guard lock(mu_);
+    rings_.push_back(r);
+    return r;
+  }();
+  return ring.get();
+}
+
+std::vector<Event> Traces::SnapshotAll() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& ring : rings_) ring->Snapshot(&out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& x, const Event& y) { return x.nanos < y.nanos; });
+  return out;
+}
+
+uint64_t Traces::TotalRecorded() const {
+  std::lock_guard lock(mu_);
+  uint64_t n = 0;
+  for (const auto& ring : rings_) n += ring->recorded();
+  return n;
+}
+
+void Traces::ClearAll() {
+  std::lock_guard lock(mu_);
+  for (const auto& ring : rings_) ring->Clear();
+}
+
+}  // namespace morph::trace

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace morph::trace {
+
+/// \brief One structured trace event. `name` must be a string literal (the
+/// ring stores the pointer, never copies); `a` and `b` are event-specific
+/// payloads (an LSN, a batch size, a worker index — documented at each
+/// MORPH_TRACE site).
+struct Event {
+  const char* name = nullptr;
+  int64_t nanos = 0;  ///< steady-clock timestamp, ns since an arbitrary epoch
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+/// \brief Fixed-size per-thread event ring.
+///
+/// Exactly one thread writes a given ring (its owner); any thread may
+/// snapshot it concurrently. Every slot field is a relaxed atomic and the
+/// name pointer is published last with release ordering, so a reader that
+/// observes a slot's name also observes that slot's payload from the *same
+/// or a newer* event — snapshots are best-effort (a slot being overwritten
+/// mid-read can pair a name with the next event's payload) but never
+/// undefined behaviour and never a torn pointer. That is the usual trace-
+/// ring contract: it exists for post-mortem forensics, not for accounting
+/// (counters are the accounting surface).
+class Ring {
+ public:
+  static constexpr size_t kCapacity = 1024;  // power of two; 32 KiB per thread
+
+  void Record(const char* name, int64_t nanos, int64_t a, int64_t b) {
+    const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[seq & (kCapacity - 1)];
+    slot.nanos.store(nanos, std::memory_order_relaxed);
+    slot.a.store(a, std::memory_order_relaxed);
+    slot.b.store(b, std::memory_order_relaxed);
+    slot.name.store(name, std::memory_order_release);
+  }
+
+  /// Number of events ever recorded (not capped at kCapacity).
+  uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+
+  /// Appends this ring's populated slots to `out` (unordered).
+  void Snapshot(std::vector<Event>* out) const {
+    for (const Slot& slot : slots_) {
+      const char* name = slot.name.load(std::memory_order_acquire);
+      if (name == nullptr) continue;
+      out->push_back({name, slot.nanos.load(std::memory_order_relaxed),
+                      slot.a.load(std::memory_order_relaxed),
+                      slot.b.load(std::memory_order_relaxed)});
+    }
+  }
+
+  void Clear() {
+    for (Slot& slot : slots_) slot.name.store(nullptr, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<int64_t> nanos{0};
+    std::atomic<int64_t> a{0};
+    std::atomic<int64_t> b{0};
+  };
+
+  std::atomic<uint64_t> head_{0};
+  Slot slots_[kCapacity];
+};
+
+/// \brief Owns every thread's ring. Rings are kept alive past thread exit
+/// (shared_ptr held both here and in the thread_local), so a crash-test
+/// snapshot still sees a dead worker's last events.
+class Traces {
+ public:
+  static Traces& Instance();
+
+  /// The calling thread's ring (created and registered on first use).
+  Ring* RingForThisThread();
+
+  /// Merged snapshot of every ring, sorted by timestamp.
+  std::vector<Event> SnapshotAll() const;
+
+  /// Total events recorded across all rings (monotonic; survives wrap).
+  uint64_t TotalRecorded() const;
+
+  /// Empties every ring. Only meaningful while event-producing threads are
+  /// quiesced (tests between scenarios); racing a writer loses that
+  /// writer's in-flight event, nothing worse.
+  void ClearAll();
+
+ private:
+  Traces() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+int64_t NowNanos();
+
+}  // namespace morph::trace
+
+/// \brief Records a structured event into the calling thread's trace ring.
+/// `name` must be a string literal. Cost: one thread_local lookup plus four
+/// relaxed stores.
+#define MORPH_TRACE(name, a, b)                                     \
+  do {                                                              \
+    ::morph::trace::Traces::Instance().RingForThisThread()->Record( \
+        name, ::morph::trace::NowNanos(), (a), (b));                \
+  } while (false)

@@ -6,6 +6,8 @@
 
 #include "common/codec.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "engine/recovery.h"
 #include "storage/snapshot.h"
 
@@ -97,6 +99,7 @@ Status GatedRedo(const wal::LogRecord& rec, storage::Table* table,
 Result<CheckpointMeta> Checkpointer::Write(Database* db,
                                            const std::string& dir) {
   MORPH_FAILPOINT("engine.checkpoint.write");
+  MORPH_COUNTER_INC("engine.checkpoint.writes");
   CheckpointMeta meta;
   // Order matters: the WAL guard and the active-transaction table are
   // captured before the (fuzzy) scans, so anything the scans miss is at an
@@ -133,6 +136,9 @@ Result<CheckpointMeta> Checkpointer::Write(Database* db,
   if (!out) return Status::IOError("cannot write " + MetaPath(dir));
   out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   if (!out) return Status::IOError("short write to " + MetaPath(dir));
+  // a = guard LSN, b = tables snapshotted.
+  MORPH_TRACE("engine.checkpoint.write", static_cast<int64_t>(meta.guard_lsn),
+              static_cast<int64_t>(meta.tables.size()));
   return meta;
 }
 
@@ -163,6 +169,7 @@ Result<Checkpointer::Stats> Checkpointer::Restore(const std::string& dir,
                                                   wal::Wal* wal,
                                                   storage::Catalog* catalog) {
   MORPH_FAILPOINT("engine.checkpoint.restore");
+  MORPH_COUNTER_INC("engine.checkpoint.restores");
   MORPH_ASSIGN_OR_RETURN(CheckpointMeta meta, ReadMeta(dir));
   Stats stats;
 

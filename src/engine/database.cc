@@ -3,6 +3,7 @@
 #include <shared_mutex>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace morph::engine {
 
@@ -19,6 +20,7 @@ Status Database::DropTable(const std::string& name) {
 }
 
 TxnPtr Database::Begin() {
+  MORPH_COUNTER_INC("engine.txn.begins");
   return txns_.Begin(epoch_.load(std::memory_order_acquire));
 }
 
@@ -33,6 +35,7 @@ Status Database::Commit(const TxnPtr& t) {
     }
   }
   MORPH_RETURN_NOT_OK(txns_.Commit(t));
+  MORPH_COUNTER_INC("engine.txn.commits");
   if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
     hook->OnTxnFinished(t->id(), t->epoch());
   }
@@ -70,6 +73,7 @@ Status Database::Abort(const TxnPtr& t) {
     }
   }
   MORPH_RETURN_NOT_OK(txns_.EndAbort(t));
+  MORPH_COUNTER_INC("engine.txn.aborts");
   if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
     hook->OnTxnFinished(t->id(), t->epoch());
   }

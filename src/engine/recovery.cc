@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace morph::engine {
 
@@ -69,6 +71,7 @@ bool IsDataRecord(wal::LogRecordType type) {
 Result<Recovery::Stats> Recovery::Restart(wal::Wal* wal,
                                           storage::Catalog* catalog) {
   Stats stats;
+  MORPH_COUNTER_INC("engine.recovery.runs");
   MORPH_FAILPOINT("engine.recovery.redo_pass");
   // Pass 1: analysis + redo.
   std::unordered_map<TxnId, Lsn> att;  // loser candidates -> last LSN
@@ -108,6 +111,11 @@ Result<Recovery::Stats> Recovery::Restart(wal::Wal* wal,
   MORPH_FAILPOINT("engine.recovery.undo_pass");
   stats.losers = att.size();
   MORPH_ASSIGN_OR_RETURN(stats.undone, UndoLosers(wal, catalog, att));
+  MORPH_COUNTER_ADD("engine.recovery.records_redone", stats.redone);
+  MORPH_COUNTER_ADD("engine.recovery.records_undone", stats.undone);
+  // a = records redone, b = loser operations undone.
+  MORPH_TRACE("engine.recovery.restart", static_cast<int64_t>(stats.redone),
+              static_cast<int64_t>(stats.undone));
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #include "storage/table.h"
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace morph::storage {
 
@@ -33,6 +34,7 @@ void Table::IndexRemove(const Record& record, const Row& pk) {
 
 Status Table::Insert(Record record) {
   MORPH_FAILPOINT("storage.table.insert");
+  MORPH_COUNTER_INC("storage.table.inserts");
   const Row pk = schema_.KeyOf(record.row);
   Shard& shard = ShardFor(pk);
   {
@@ -49,6 +51,7 @@ Status Table::Insert(Record record) {
 
 Status Table::Update(const Row& key, Record record) {
   MORPH_FAILPOINT("storage.table.update");
+  MORPH_COUNTER_INC("storage.table.updates");
   const Row new_pk = schema_.KeyOf(record.row);
   if (new_pk != key) {
     return Status::InvalidArgument("Update may not change the primary key (" +
@@ -74,6 +77,7 @@ Status Table::Update(const Row& key, Record record) {
 
 Status Table::Delete(const Row& key) {
   MORPH_FAILPOINT("storage.table.delete");
+  MORPH_COUNTER_INC("storage.table.deletes");
   Shard& shard = ShardFor(key);
   Record old_record;
   {
@@ -109,6 +113,7 @@ bool Table::Contains(const Row& key) const {
 
 Status Table::Mutate(const Row& key, const std::function<bool(Record*)>& fn) {
   MORPH_FAILPOINT("storage.table.mutate");
+  MORPH_COUNTER_INC("storage.table.mutates");
   Shard& shard = ShardFor(key);
   Record old_record;
   Record new_record;
@@ -141,6 +146,7 @@ Status Table::Mutate(const Row& key, const std::function<bool(Record*)>& fn) {
 Status Table::Rmw(const Row& key,
                   const std::function<RmwAction(Record*, bool)>& fn) {
   MORPH_FAILPOINT("storage.table.rmw");
+  MORPH_COUNTER_INC("storage.table.rmws");
   Shard& shard = ShardFor(key);
   Record old_record;
   Record new_record;

@@ -6,6 +6,8 @@
 
 #include "common/clock.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace morph::transform {
 
@@ -81,6 +83,11 @@ Result<size_t> TransformCoordinator::PropagateRange(Lsn from, Lsn to,
 }
 
 void TransformCoordinator::FillPropagationStats(TransformStats* stats) const {
+  // Pure snapshot of the pipeline's atomic instruments — safe on every
+  // Run() exit path including abort: worker counters are relaxed atomics
+  // (see LogPropagator::worker_stats) and PropagateRange drains the
+  // workers before returning on all paths, so nothing here depends on
+  // join-before-snapshot ordering.
   stats->ops_propagated = propagator_->ops_applied();
   stats->propagate_workers = config_.propagate_workers;
   stats->worker_ops.clear();
@@ -92,6 +99,7 @@ void TransformCoordinator::FillPropagationStats(TransformStats* stats) const {
         static_cast<double>(stats->log_records_processed) /
         (static_cast<double>(stats->propagate_micros) * 1e-6);
   }
+  stats->achieved_duty = priority_.totals().achieved();
 }
 
 // --- the four steps ------------------------------------------------------------
@@ -99,6 +107,28 @@ void TransformCoordinator::FillPropagationStats(TransformStats* stats) const {
 Result<TransformStats> TransformCoordinator::Run() {
   TransformStats stats;
   const auto run_start = Clock::Now();
+  MORPH_COUNTER_INC("transform.runs_started");
+
+  // Pin the WAL before anything else: log-archiving housekeeping (a
+  // checkpointer's TruncateBefore, a bench janitor) runs concurrently and
+  // knows nothing about this transformation. Until the fuzzy mark fixes the
+  // propagation start the pin conservatively holds the whole retained log;
+  // it then tracks start_lsn and finally the live propagation watermark.
+  // Without the pin, a checkpoint whose truncate_floor lies past
+  // un-propagated records would silently starve the propagator — Wal::Scan
+  // skips a truncated prefix without error and the transformed tables would
+  // simply miss those updates.
+  retention_floor_.store(db_->wal()->FirstLsn(), std::memory_order_release);
+  const uint64_t pin_id = db_->wal()->AddRetentionPin([this]() -> Lsn {
+    const Lsn watermark = propagated_lsn();
+    if (watermark != kInvalidLsn) return watermark;
+    return retention_floor_.load(std::memory_order_acquire);
+  });
+  struct PinGuard {
+    wal::Wal* wal;
+    uint64_t id;
+    ~PinGuard() { wal->RemoveRetentionPin(id); }
+  } pin_guard{db_->wal(), pin_id};
 
   // Step 1: preparation (§3.1).
   MORPH_FAILPOINT("transform.prepare.before");
@@ -155,12 +185,18 @@ Result<TransformStats> TransformCoordinator::Run() {
     mark.type = wal::LogRecordType::kFuzzyMark;
     mark.active_txns = snap.txns;
     mark.min_active_lsn = snap.min_first_lsn;
-    db_->wal()->Append(std::move(mark));
+    const Lsn mark_lsn = db_->wal()->Append(std::move(mark));
+    // a = mark LSN, b = active transactions captured in it.
+    MORPH_TRACE("transform.fuzzy.begin_mark", static_cast<int64_t>(mark_lsn),
+                static_cast<int64_t>(snap.txns.size()));
   }
   Lsn start_lsn = guard + 1;
   if (snap.min_first_lsn != kInvalidLsn && snap.min_first_lsn < start_lsn) {
     start_lsn = snap.min_first_lsn;
   }
+  // The propagation start is fixed now; the retention pin no longer needs
+  // to hold anything older.
+  retention_floor_.store(start_lsn, std::memory_order_release);
 
   MORPH_FAILPOINT("transform.fuzzy.begin");
   phase_.store(Phase::kPopulating, std::memory_order_release);
@@ -182,7 +218,9 @@ Result<TransformStats> TransformCoordinator::Run() {
     const txn::ActiveSnapshot snap2 = db_->txns()->Snapshot();
     mark.active_txns = snap2.txns;
     mark.min_active_lsn = snap2.min_first_lsn;
-    db_->wal()->Append(std::move(mark));
+    const Lsn mark_lsn = db_->wal()->Append(std::move(mark));
+    MORPH_TRACE("transform.fuzzy.end_mark", static_cast<int64_t>(mark_lsn),
+                static_cast<int64_t>(stats.populate_micros));
   }
 
   // Step 3: log propagation iterations (§3.3).
@@ -243,6 +281,7 @@ Result<TransformStats> TransformCoordinator::Run() {
         stats.log_records_processed += *n;
       }
       stats.iterations++;
+      MORPH_COUNTER_INC("transform.propagate.iterations");
 
       if (config_.run_consistency_checker) {
         auto cc = rules_->RunConsistencyCheck(config_.cc_batch);
@@ -256,6 +295,13 @@ Result<TransformStats> TransformCoordinator::Run() {
 
       const Lsn tail = db_->wal()->LastLsn();
       const size_t backlog = tail >= next_lsn_ ? tail - next_lsn_ + 1 : 0;
+      MORPH_GAUGE_SET("transform.backlog", static_cast<int64_t>(backlog));
+      MORPH_GAUGE_SET(
+          "transform.priority.requested_ppm",
+          static_cast<int64_t>(priority_.priority() * 1e6));
+      MORPH_GAUGE_SET(
+          "transform.priority.achieved_ppm",
+          static_cast<int64_t>(priority_.totals().achieved() * 1e6));
       const bool ready = rules_->ReadyForSync();
       if (config_.continuous) {
         // Materialized-view mode: maintain forever; only RequestFinish (or
@@ -310,6 +356,9 @@ Result<TransformStats> TransformCoordinator::Run() {
       std::vector<std::unique_lock<std::shared_mutex>> latches;
       latches.reserve(sources.size());
       for (const auto& src : sources) latches.emplace_back(src->latch());
+      // a = tables latched, b = 0 (acquire) / latched nanos (release).
+      MORPH_TRACE("transform.sync.latch_acquire",
+                  static_cast<int64_t>(sources.size()), 0);
       const Lsn end = db_->wal()->LastLsn();
       if (end >= next_lsn_) {
         auto n = PropagateRange(next_lsn_, end, /*throttled=*/false);
@@ -322,6 +371,11 @@ Result<TransformStats> TransformCoordinator::Run() {
       }
       stats.sync_latch_nanos = Clock::NanosSince(latch_start);
       stats.sync_latch_micros = stats.sync_latch_nanos / 1000;
+      MORPH_HISTOGRAM_NANOS("transform.sync.latch_nanos",
+                            stats.sync_latch_nanos);
+      MORPH_TRACE("transform.sync.latch_release",
+                  static_cast<int64_t>(sources.size()),
+                  stats.sync_latch_nanos);
     }
     db_->ClearTransformHook();
     hook_registered_.store(false, std::memory_order_release);
@@ -331,6 +385,7 @@ Result<TransformStats> TransformCoordinator::Run() {
     stats.final_priority = priority_.priority();
     FillPropagationStats(&stats);
     stats.total_micros = Clock::MicrosSince(run_start);
+    MORPH_COUNTER_INC("transform.runs_completed");
     return stats;
   }
 
@@ -360,7 +415,9 @@ Result<TransformStats> TransformCoordinator::Run() {
       tlocks_.Clear();
       phase_.store(Phase::kAborted, std::memory_order_release);
       stats.abort_reason = "drain failed: " + st.ToString();
+      FillPropagationStats(&stats);
       stats.total_micros = Clock::MicrosSince(run_start);
+      MORPH_COUNTER_INC("transform.runs_aborted");
       return stats;
     }
   }
@@ -391,6 +448,7 @@ Result<TransformStats> TransformCoordinator::Run() {
   stats.final_priority = priority_.priority();
   FillPropagationStats(&stats);
   stats.total_micros = Clock::MicrosSince(run_start);
+  MORPH_COUNTER_INC("transform.runs_completed");
   return stats;
 }
 
@@ -446,6 +504,9 @@ Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
     std::vector<std::unique_lock<std::shared_mutex>> latches;
     latches.reserve(sources.size());
     for (const auto& src : sources) latches.emplace_back(src->latch());
+    // a = tables latched, b = 0 (acquire) / latched nanos (release).
+    MORPH_TRACE("transform.sync.latch_acquire",
+                static_cast<int64_t>(sources.size()), 0);
 
     const Lsn end = db_->wal()->LastLsn();
     if (end >= next_lsn_) {
@@ -475,6 +536,12 @@ Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
     switched_.store(true, std::memory_order_release);
     stats->sync_latch_nanos = Clock::NanosSince(latch_start);
     stats->sync_latch_micros = stats->sync_latch_nanos / 1000;
+    MORPH_HISTOGRAM_NANOS("transform.sync.latch_nanos",
+                          stats->sync_latch_nanos);
+    MORPH_TRACE("transform.sync.latch_release",
+                static_cast<int64_t>(sources.size()),
+                stats->sync_latch_nanos);
+    MORPH_COUNTER_ADD("transform.txns_doomed", stats->txns_doomed);
   }
 
   if (config_.strategy == SyncStrategy::kBlockingCommit) {
@@ -529,6 +596,7 @@ void TransformCoordinator::AbortTransformation(const std::string& reason,
   stats->completed = false;
   stats->abort_reason = reason;
   FillPropagationStats(stats);
+  MORPH_COUNTER_INC("transform.runs_aborted");
 }
 
 // --- TransformHook -------------------------------------------------------------

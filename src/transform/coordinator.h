@@ -96,6 +96,15 @@ struct TransformConfig {
   size_t propagate_queue_capacity = 0;
 };
 
+/// \brief Per-run statistics returned by TransformCoordinator::Run().
+///
+/// A *view over the pipeline's atomic instruments*: every counter here is a
+/// snapshot of the same relaxed atomics that feed the process-wide metrics
+/// registry (`transform.propagate.*` counters, `transform.backlog` /
+/// `transform.priority.*` gauges — see docs/ARCHITECTURE.md "Observability"),
+/// so the serial and parallel propagation paths report through one
+/// mechanism and the registry's process-cumulative counters can be
+/// reconciled against per-run stats by delta.
 struct TransformStats {
   bool completed = false;
   /// Why the transformation aborted (empty when completed).
@@ -119,6 +128,12 @@ struct TransformStats {
   size_t iterations = 0;
   size_t txns_doomed = 0;  ///< non-blocking abort: old txns forced to abort
   double final_priority = 1.0;
+  /// Realized duty cycle of the throttled propagation stages over the whole
+  /// run (work / (work + sleep), from PriorityController::totals()); 1.0
+  /// when nothing was throttled. Compare against final_priority to judge
+  /// throttle fidelity; also exported live as the
+  /// `transform.priority.achieved_ppm` gauge.
+  double achieved_duty = 1.0;
 
   /// Parallel-propagation shape: configured worker count and per-worker ops
   /// applied (entry 0 is the reader's inline worker — all ops when serial,
@@ -175,6 +190,13 @@ class TransformCoordinator : public engine::TransformHook {
   /// \brief Adjusts the propagator's priority while running.
   void set_priority(double p) { priority_.set_priority(p); }
   double priority() const { return priority_.priority(); }
+
+  /// \brief Cumulative work/sleep accounting of the throttled stages (see
+  /// PriorityController::DutyTotals). Sample a delta around a measurement
+  /// window to get the duty cycle actually realized within it.
+  PriorityController::DutyTotals duty_totals() const {
+    return priority_.totals();
+  }
 
   /// \brief While held, the coordinator keeps iterating log propagation and
   /// never enters synchronization, even with an empty backlog. Lets the DBA
@@ -271,6 +293,15 @@ class TransformCoordinator : public engine::TransformHook {
   /// concurrently (e.g. by log-truncation housekeeping via
   /// propagated_lsn()).
   std::atomic<Lsn> next_lsn_{kInvalidLsn};
+
+  /// Floor backing the WAL retention pin Run() registers: the oldest log
+  /// record this transformation may still need. Starts at the log's first
+  /// retained LSN (conservative — propagation start is not known yet),
+  /// advances to start_lsn once the fuzzy mark fixes it, and is superseded
+  /// by the live propagation watermark (propagated_lsn()) as soon as
+  /// propagation begins. Never retreats, which is what makes the pin's
+  /// pre-truncate evaluation safe (see Wal::AddRetentionPin).
+  std::atomic<Lsn> retention_floor_{kInvalidLsn};
 
   /// Blocking-commit gate: when on, operations of transactions with epoch
   /// >= gate_epoch_ on involved tables park here. gate_on_ is an atomic so

@@ -42,17 +42,58 @@ class PriorityController {
   /// in-memory table), so the owed sleep is accumulated as a debt and paid
   /// once it reaches a schedulable quantum — a naive per-slice sleep would
   /// round down to zero and silently run at full priority.
+  ///
+  /// The payment runs in capped chunks *until the debt is cleared*. Paying
+  /// at most one chunk per call (an earlier revision did) silently ran the
+  /// transformation at `w / (w + 50 ms)` instead of `p` whenever a slice
+  /// owed more than one chunk — at p = 0.01 a 5 ms slice owes 495 ms, so a
+  /// single 50 ms payment left the achieved duty ~9x the requested one.
+  /// The chunk cap exists only so a *raised* priority takes effect within
+  /// 50 ms; the loop re-reads the priority between chunks and forgives the
+  /// remaining debt when it was raised, since that debt was priced at the
+  /// old priority.
   void OnWorkDone(int64_t work_nanos) {
+    if (work_nanos <= 0) return;
+    work_nanos_total_.fetch_add(work_nanos, std::memory_order_relaxed);
     const double p = priority();
-    if (p >= 1.0 || work_nanos <= 0) return;
+    if (p >= 1.0) {
+      sleep_debt_nanos_ = 0;  // stale debt priced at a lower priority
+      return;
+    }
     sleep_debt_nanos_ += static_cast<double>(work_nanos) * (1.0 - p) / p;
     constexpr double kMinSleepNanos = 100'000.0;      // 100 µs quantum
     constexpr double kMaxSleepNanos = 50'000'000.0;   // stay responsive
-    if (sleep_debt_nanos_ < kMinSleepNanos) return;
-    const double chunk = std::min(sleep_debt_nanos_, kMaxSleepNanos);
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(static_cast<int64_t>(chunk)));
-    sleep_debt_nanos_ -= chunk;
+    while (sleep_debt_nanos_ >= kMinSleepNanos) {
+      const double chunk = std::min(sleep_debt_nanos_, kMaxSleepNanos);
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(static_cast<int64_t>(chunk)));
+      slept_nanos_total_.fetch_add(static_cast<int64_t>(chunk),
+                                   std::memory_order_relaxed);
+      sleep_debt_nanos_ -= chunk;
+      if (priority() > p) {
+        sleep_debt_nanos_ = 0;
+        break;
+      }
+    }
+  }
+
+  /// \brief Cumulative work/sleep accounting, readable from any thread.
+  /// `achieved()` is the realized duty cycle; compare against `priority()`
+  /// (the requested one) over a snapshot delta to judge throttle fidelity.
+  struct DutyTotals {
+    int64_t work_nanos = 0;
+    int64_t slept_nanos = 0;
+    double achieved() const {
+      const int64_t wall = work_nanos + slept_nanos;
+      return wall <= 0 ? 1.0
+                       : static_cast<double>(work_nanos) /
+                             static_cast<double>(wall);
+    }
+  };
+
+  DutyTotals totals() const {
+    return {work_nanos_total_.load(std::memory_order_relaxed),
+            slept_nanos_total_.load(std::memory_order_relaxed)};
   }
 
  private:
@@ -62,6 +103,8 @@ class PriorityController {
   /// propagation, or the populating thread during the initial scan. Apply
   /// workers never call OnWorkDone.
   double sleep_debt_nanos_ = 0;
+  std::atomic<int64_t> work_nanos_total_{0};
+  std::atomic<int64_t> slept_nanos_total_{0};
 };
 
 }  // namespace morph::transform

@@ -5,6 +5,8 @@
 
 #include "common/clock.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "wal/log_record.h"
 
 namespace morph::transform {
@@ -62,10 +64,11 @@ Lsn LogPropagator::FloorLsn() const {
 std::vector<PropagatorWorkerStats> LogPropagator::worker_stats() const {
   std::vector<PropagatorWorkerStats> out;
   out.reserve(workers_.size() + 1);
-  out.push_back(inline_stats_);
+  out.push_back(
+      {inline_ops_applied_.load(std::memory_order_relaxed), /*depth=*/0});
   for (const auto& w : workers_) {
-    std::unique_lock lock(w->mu);
-    out.push_back(w->stats);
+    out.push_back({w->ops_applied.load(std::memory_order_relaxed),
+                   w->max_queue_depth.load(std::memory_order_relaxed)});
   }
   return out;
 }
@@ -84,6 +87,7 @@ Status LogPropagator::ApplyOp(const Op& op, txn::LockOrigin origin) {
     }
   }
   ops_applied_.fetch_add(1, std::memory_order_relaxed);
+  MORPH_COUNTER_INC("transform.propagate.ops");
   return Status::OK();
 }
 
@@ -153,9 +157,9 @@ void LogPropagator::WorkerLoop(Worker* w) {
         RecordException(std::current_exception());
       }
     }
+    if (applied) w->ops_applied.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock lock(w->mu);
-      if (applied) w->stats.ops_applied++;
       w->busy = false;
       w->floor.store(w->queue.empty() ? kLsnMax : w->queue.front().op.lsn,
                      std::memory_order_release);
@@ -167,11 +171,24 @@ void LogPropagator::WorkerLoop(Worker* w) {
 void LogPropagator::Enqueue(size_t worker, Item item) {
   Worker& w = *workers_[worker];
   std::unique_lock lock(w.mu);
-  w.cv_space.wait(lock, [&] {
+  const auto can_enqueue = [&] {
     return w.queue.size() < config_.queue_capacity ||
            failed_.load(std::memory_order_acquire) ||
            stop_.load(std::memory_order_acquire);
-  });
+  };
+  if (!can_enqueue()) {
+    // Backpressure: the reader is outpacing this worker. Account the stall
+    // so a mistuned queue capacity or a skewed partition shows up in the
+    // metrics instead of only as mysteriously low throughput.
+    MORPH_COUNTER_INC("transform.propagate.backpressure_stalls");
+    const auto stall_start = Clock::Now();
+    w.cv_space.wait(lock, can_enqueue);
+    const int64_t stall_nanos = Clock::NanosSince(stall_start);
+    MORPH_HISTOGRAM_NANOS("transform.propagate.stall_nanos", stall_nanos);
+    // a = op LSN the reader was trying to hand off, b = worker index.
+    MORPH_TRACE("transform.propagate.stall", static_cast<int64_t>(item.op.lsn),
+                static_cast<int64_t>(worker));
+  }
   if (failed_.load(std::memory_order_acquire) ||
       stop_.load(std::memory_order_acquire)) {
     return;  // drain-and-discard: the failure surfaces via TakeFailure()
@@ -180,7 +197,10 @@ void LogPropagator::Enqueue(size_t worker, Item item) {
     w.floor.store(item.op.lsn, std::memory_order_release);
   }
   w.queue.push_back(std::move(item));
-  w.stats.max_queue_depth = std::max(w.stats.max_queue_depth, w.queue.size());
+  // Single writer (the reader thread), so load+store needs no CAS.
+  if (w.queue.size() > w.max_queue_depth.load(std::memory_order_relaxed)) {
+    w.max_queue_depth.store(w.queue.size(), std::memory_order_relaxed);
+  }
   w.cv_nonempty.notify_one();
 }
 
@@ -214,11 +234,14 @@ Status LogPropagator::DispatchData(Op op, txn::LockOrigin origin) {
     }
     // Barrier op: every lower-LSN op must land first, then it runs alone on
     // the reader thread.
+    MORPH_COUNTER_INC("transform.propagate.barrier_drains");
+    MORPH_TRACE("transform.propagate.barrier_drain",
+                static_cast<int64_t>(op.lsn), 0);
     WaitDrained();
     MORPH_RETURN_NOT_OK(TakeFailure());
   }
   const Status st = ApplyOp(op, origin);
-  if (st.ok()) inline_stats_.ops_applied++;
+  if (st.ok()) inline_ops_applied_.fetch_add(1, std::memory_order_relaxed);
   return st;
 }
 
@@ -254,6 +277,13 @@ Status LogPropagator::ProcessRecord(const wal::LogRecord& rec) {
       // CC brackets are true barriers: the §5.3 verdict must observe every
       // lower-LSN op, or a late-arriving disturbance would be missed and an
       // unverified image blessed with a C flag.
+      // a = bracket LSN, b = 0 for kCcBegin / 1 for kCcOk.
+      MORPH_TRACE("transform.propagate.cc_bracket",
+                  static_cast<int64_t>(rec.lsn),
+                  rec.type == wal::LogRecordType::kCcOk ? 1 : 0);
+      if (!workers_.empty()) {
+        MORPH_COUNTER_INC("transform.propagate.barrier_drains");
+      }
       WaitDrained();
       MORPH_RETURN_NOT_OK(TakeFailure());
       return rules_->OnControlRecord(rec);
@@ -273,6 +303,7 @@ Result<size_t> LogPropagator::PropagateRange(
   Status failure;
   while (next <= to) {
     const auto batch_start = Clock::Now();
+    const size_t count_before = count;
     const Lsn stop = std::min<Lsn>(to, next + config_.batch_size - 1);
     if (workers_.empty()) {
       // Serial: zero-copy chunked scan, applying by reference under the
@@ -297,6 +328,11 @@ Result<size_t> LogPropagator::PropagateRange(
         if (!failure.ok()) break;
       }
     }
+    MORPH_COUNTER_INC("transform.propagate.batches");
+    MORPH_COUNTER_ADD("transform.propagate.records", count - count_before);
+    // a = first LSN of the batch, b = records processed in it.
+    MORPH_TRACE("transform.propagate.batch", static_cast<int64_t>(next),
+                static_cast<int64_t>(count - count_before));
     if (!failure.ok()) break;
     next = stop + 1;
     next_lsn->store(next, std::memory_order_release);

@@ -36,6 +36,11 @@ struct PropagatorConfig {
 };
 
 /// \brief Per-worker diagnostics, snapshotted into TransformStats.
+///
+/// A *snapshot*: the live values are relaxed atomics inside the pipeline
+/// (see LogPropagator::worker_stats), so snapshotting is safe from any
+/// thread at any time — including a metrics/monitoring thread sampling
+/// while workers are still applying ops.
 struct PropagatorWorkerStats {
   size_t ops_applied = 0;
   size_t max_queue_depth = 0;
@@ -126,7 +131,12 @@ class LogPropagator {
 
   /// \brief Per-worker diagnostics. Entry 0 is the reader's inline worker
   /// (all ops when serial, barrier ops when parallel), followed by one
-  /// entry per queue worker.
+  /// entry per queue worker. Safe from any thread while the pipeline is
+  /// running: every field is read from a relaxed atomic, never from state a
+  /// worker mutates under its queue lock. (An earlier revision kept the
+  /// inline counters as plain fields "owned by the reader thread", which
+  /// made any cross-thread snapshot — a monitoring thread, a stats dump
+  /// racing an abort — a data race under TSan.)
   std::vector<PropagatorWorkerStats> worker_stats() const;
 
  private:
@@ -144,7 +154,11 @@ class LogPropagator {
     /// LSN of the oldest queued/in-flight op; LSN-max when idle. Updated
     /// under mu, stored atomically so FloorLsn() never takes queue locks.
     std::atomic<Lsn> floor{std::numeric_limits<Lsn>::max()};
-    PropagatorWorkerStats stats;  ///< guarded by mu
+    /// Diagnostics, relaxed atomics so worker_stats() is lock- and
+    /// race-free from any thread. ops_applied is written by the worker
+    /// thread; max_queue_depth only by the reader (single writer each).
+    std::atomic<size_t> ops_applied{0};
+    std::atomic<size_t> max_queue_depth{0};
     std::thread thread;
   };
 
@@ -191,7 +205,10 @@ class LogPropagator {
   std::deque<std::pair<Lsn, TxnId>> pending_releases_;
 
   std::atomic<size_t> ops_applied_{0};
-  PropagatorWorkerStats inline_stats_;  ///< reader-thread only
+  /// Ops applied inline on the reader thread (all of them when serial,
+  /// barrier ops when parallel). Atomic for the same reason as the worker
+  /// counters: worker_stats() may sample from another thread mid-run.
+  std::atomic<size_t> inline_ops_applied_{0};
 };
 
 }  // namespace morph::transform

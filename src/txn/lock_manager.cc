@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/metrics.h"
+
 namespace morph::txn {
 
 bool LockModesCompatible(LockMode a, LockMode b) {
@@ -69,6 +71,7 @@ bool LockManager::ShouldDie(const LockQueue& q, TxnId txn, LockMode mode) {
 }
 
 Status LockManager::Acquire(TxnId txn, const RecordId& rid, LockMode mode) {
+  MORPH_COUNTER_INC("txn.lock.acquires");
   std::unique_lock lock(mu_);
   LockQueue& q = table_[rid];
 
@@ -82,6 +85,7 @@ Status LockManager::Acquire(TxnId txn, const RecordId& rid, LockMode mode) {
       return Status::OK();
     }
     if (ShouldDie(q, txn, target)) {
+      MORPH_COUNTER_INC("txn.lock.deadlocks");
       return Status::Deadlock("wait-die: upgrade on " + rid.ToString());
     }
     // Fall through to the wait loop; the held entry keeps its current mode
@@ -91,6 +95,16 @@ Status LockManager::Acquire(TxnId txn, const RecordId& rid, LockMode mode) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(wait_timeout_micros_);
   bool first_attempt = true;
+  std::chrono::steady_clock::time_point wait_start;
+  // Records the total blocked time into the wait histogram on every exit
+  // path that follows at least one cv wait.
+  const auto record_wait = [&] {
+    MORPH_HISTOGRAM_NANOS(
+        "txn.lock.wait_nanos",
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+  };
   while (true) {
     LockQueue& queue = table_[rid];
     // Re-derive the grant target (an upgrade if this txn already holds).
@@ -110,15 +124,24 @@ Status LockManager::Acquire(TxnId txn, const RecordId& rid, LockMode mode) {
         queue.holders.push_back({txn, target});
         held_[txn].push_back(rid);
       }
+      if (!first_attempt) record_wait();
       return Status::OK();
     }
     if (ShouldDie(queue, txn, target)) {
+      MORPH_COUNTER_INC("txn.lock.deadlocks");
+      if (!first_attempt) record_wait();
       return Status::Deadlock("wait-die: lock on " + rid.ToString());
     }
     if (!first_attempt && std::chrono::steady_clock::now() >= deadline) {
+      MORPH_COUNTER_INC("txn.lock.timeouts");
+      record_wait();
       return Status::Busy("lock wait timeout on " + rid.ToString());
     }
-    first_attempt = false;
+    if (first_attempt) {
+      MORPH_COUNTER_INC("txn.lock.waits");
+      wait_start = std::chrono::steady_clock::now();
+      first_attempt = false;
+    }
     queue.waiters++;
     cv_.wait_until(lock, deadline);
     // `table_` may have rehashed while unlocked; re-lookup on next loop.

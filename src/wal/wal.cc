@@ -1,10 +1,13 @@
 #include "wal/wal.h"
 
+#include <chrono>
 #include <fstream>
 #include <mutex>
 
 #include "common/codec.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace morph::wal {
 
@@ -25,6 +28,7 @@ uint32_t Fnv1a(std::string_view data) {
 
 Lsn Wal::Append(LogRecord rec) {
   MORPH_FAILPOINT_VOID("wal.append");
+  MORPH_COUNTER_INC("wal.appends");
   std::unique_lock lock(mu_);
   const Lsn lsn = base_lsn_ + records_.size();
   rec.lsn = lsn;
@@ -92,10 +96,26 @@ Lsn Wal::ScanInto(Lsn from, Lsn to, size_t max_records,
 
 void Wal::TruncateBefore(Lsn keep_from) {
   MORPH_FAILPOINT_VOID("wal.truncate");
+  MORPH_COUNTER_INC("wal.truncates");
+  // Clamp below every retention pin *before* taking the log lock. Pin
+  // floors only move forward (a propagator's watermark never retreats), so
+  // a floor read here remains a safe bound even if its owner advances while
+  // we truncate; the worst case is keeping a few extra records.
+  {
+    std::lock_guard pins_lock(pins_mu_);
+    for (const auto& [id, floor_fn] : pins_) {
+      const Lsn floor = floor_fn();
+      if (floor != kInvalidLsn && floor < keep_from) {
+        keep_from = floor;
+        MORPH_COUNTER_INC("wal.truncate_clamped");
+      }
+    }
+  }
   // Move the truncated prefix out under the lock and destroy it outside:
   // freeing tens of thousands of records must not stall concurrent
   // appenders (every transaction operation appends).
   std::vector<LogRecord> graveyard;
+  size_t dropped = 0;
   {
     std::unique_lock lock(mu_);
     if (keep_from <= base_lsn_) return;
@@ -106,7 +126,24 @@ void Wal::TruncateBefore(Lsn keep_from) {
       records_.pop_front();
     }
     base_lsn_ += n;
+    dropped = n;
   }
+  MORPH_COUNTER_ADD("wal.records_truncated", dropped);
+  // a = new first LSN, b = records dropped.
+  MORPH_TRACE("wal.truncate", static_cast<int64_t>(keep_from),
+              static_cast<int64_t>(dropped));
+}
+
+uint64_t Wal::AddRetentionPin(std::function<Lsn()> floor_fn) {
+  std::lock_guard lock(pins_mu_);
+  const uint64_t id = next_pin_id_++;
+  pins_[id] = std::move(floor_fn);
+  return id;
+}
+
+void Wal::RemoveRetentionPin(uint64_t id) {
+  std::lock_guard lock(pins_mu_);
+  pins_.erase(id);
 }
 
 Lsn Wal::FirstLsn() const {
@@ -116,6 +153,8 @@ Lsn Wal::FirstLsn() const {
 
 Status Wal::SaveToFile(const std::string& path) const {
   MORPH_FAILPOINT("wal.save");
+  MORPH_COUNTER_INC("wal.saves");
+  const auto save_start = std::chrono::steady_clock::now();
   // Each record is framed as [u32 payload size][u32 FNV-1a checksum][payload]
   // so a reader can tell a torn tail (the common crash artifact) from valid
   // data without trusting the payload codec to fail on garbage.
@@ -135,11 +174,19 @@ Status Wal::SaveToFile(const std::string& path) const {
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   if (!out) return Status::IOError("short write to " + path);
+  const int64_t save_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - save_start)
+          .count();
+  MORPH_HISTOGRAM_NANOS("wal.save_nanos", save_nanos);
+  // The in-memory engine's equivalent of an fsync: a = bytes written.
+  MORPH_TRACE("wal.save", static_cast<int64_t>(buf.size()), save_nanos);
   return Status::OK();
 }
 
 Status Wal::LoadFromFile(const std::string& path) {
   MORPH_FAILPOINT("wal.load");
+  MORPH_COUNTER_INC("wal.loads");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path + " for reading");
   std::string buf((std::istreambuf_iterator<char>(in)),

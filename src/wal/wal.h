@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -69,9 +72,25 @@ class Wal {
 
   /// \brief Discards records with lsn < `keep_from` (log archiving /
   /// checkpoint truncation). At()/Scan() treat the dropped range as absent.
-  /// Callers (e.g. the transformation coordinator) must not truncate past
-  /// the oldest LSN a propagator still needs.
+  ///
+  /// `keep_from` is clamped below every registered retention pin (see
+  /// AddRetentionPin), so a checkpointer or log janitor that computes its
+  /// floor without knowledge of an in-flight transformation cannot discard
+  /// records the propagator has not consumed yet — Scan() would silently
+  /// skip the dropped range and the transformation would lose updates.
+  /// A clamped call bumps the `wal.truncate_clamped` counter.
   void TruncateBefore(Lsn keep_from);
+
+  /// \brief Registers a retention pin: `floor_fn` returns the oldest LSN its
+  /// owner still needs (records with lsn >= floor are kept), or kInvalidLsn
+  /// for "no constraint right now". The function is called during
+  /// TruncateBefore with the pin lock (not the log lock) held; it must be
+  /// cheap, non-blocking, and must not call back into this Wal. Floors may
+  /// only move forward, which is what makes a pre-truncate read of the
+  /// floor a safe bound against a concurrently advancing owner.
+  /// Returns an id for RemoveRetentionPin.
+  uint64_t AddRetentionPin(std::function<Lsn()> floor_fn);
+  void RemoveRetentionPin(uint64_t id);
 
   /// \brief First LSN still present (kInvalidLsn+1 == 1 if never truncated,
   /// or LastLsn()+1 for an empty/new log).
@@ -95,6 +114,12 @@ class Wal {
   /// LSN of records_[0]; grows when the prefix is truncated.
   Lsn base_lsn_ = 1;
   std::deque<LogRecord> records_;
+
+  /// Retention pins, under their own lock so registering/evaluating a pin
+  /// never contends with the append path.
+  mutable std::mutex pins_mu_;
+  uint64_t next_pin_id_ = 1;
+  std::map<uint64_t, std::function<Lsn()>> pins_;
 };
 
 }  // namespace morph::wal

