@@ -5,16 +5,116 @@
 // ~0.94-0.96 at 100% workload. The harness paces the update workload to each
 // workload level (percent of calibrated peak throughput), measures baseline
 // throughput, then re-measures inside the transformation's population phase.
+//
+// A second sweep measures the *population pipeline* itself: unthrottled
+// (100% duty) wall time of InitialPopulate per worker count, written to
+// BENCH_fig4a_populate.json next to the core count that produced it (on a
+// single-core host the parallel speedup cannot show, which is exactly why
+// the core count is part of the record). `--quick` (or MORPH_BENCH_QUICK=1)
+// shrinks both sweeps to a CI-smoke-sized subset with the same JSON schema.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "bench/harness/interference.h"
+#include "transform/populate.h"
+#include "transform/priority.h"
 
 using namespace morph::bench;
 
-int main() {
+namespace {
+
+// Unthrottled initial-population throughput (source rows consumed per
+// second) per population worker count. Each measurement gets a fresh
+// scenario: populate is a one-shot phase and the target tables must not
+// pre-exist.
+void RunPopulateWorkerSweep(bool quick, const char* json_path) {
+  const int64_t rows = quick ? 30'000 : 120'000;
+  const int64_t groups = quick ? 10'000 : 40'000;
+  const int reps = quick ? 1 : 3;
+  const std::vector<size_t> worker_counts =
+      quick ? std::vector<size_t>{0, 2, 4}
+            : std::vector<size_t>{0, 1, 2, 4, 8};
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  PrintHeader("initial-population throughput vs. population workers (split, " +
+              std::to_string(rows) + " rows, 100% duty)");
+  std::printf("hardware_concurrency: %u\n", cores);
+  std::printf("%-8s %16s %10s\n", "workers", "records_per_sec", "speedup");
+
+  struct Point {
+    size_t workers;
+    double records_per_sec;
+  };
+  std::vector<Point> points;
+  double serial = 0;
+  for (size_t workers : worker_counts) {
+    std::vector<double> rates;
+    for (int rep = 0; rep < reps; ++rep) {
+      SplitScenario sc = SplitScenario::Make(rows, groups);
+      auto rules = sc.MakeRules();
+      if (!rules->Prepare().ok()) std::abort();
+      morph::transform::PriorityController pc(1.0);
+      rules->set_throttle(&pc);
+      morph::transform::PopulateConfig config;
+      config.workers = workers;
+      rules->set_populate_config(config);
+      const auto t0 = morph::Clock::Now();
+      if (!rules->InitialPopulate().ok()) std::abort();
+      const double secs = morph::Clock::MicrosSince(t0) / 1e6;
+      rates.push_back(static_cast<double>(rows) / secs);
+    }
+    const double rate = MedianOf(rates);
+    if (workers == 0) serial = rate;
+    points.push_back({workers, rate});
+    std::printf("%-8zu %16.0f %10.2f\n", workers, rate,
+                serial > 0 ? rate / serial : 0.0);
+  }
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig4a_populate_worker_sweep\",\n"
+                 "  \"quick\": %s,\n  \"cores\": %u,\n  \"rows\": %lld,\n"
+                 "  \"results\": [",
+                 quick ? "true" : "false", cores,
+                 static_cast<long long>(rows));
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"workers\": %zu, \"records_per_sec\": %.0f, "
+                   "\"speedup\": %.3f}",
+                   i ? "," : "", points[i].workers, points[i].records_per_sec,
+                   serial > 0 ? points[i].records_per_sec / serial : 0.0);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+  if (const char* env = std::getenv("MORPH_BENCH_QUICK");
+      env && env[0] != '\0' && env[0] != '0') {
+    quick = true;
+  }
+  if (quick) std::printf("quick mode: CI-smoke-sized sweep\n");
+
+  const std::vector<double> pcts =
+      quick ? std::vector<double>{60.0, 100.0}
+            : std::vector<double>{50.0, 60.0, 70.0, 80.0, 90.0, 100.0};
+  const int reps_per_point = quick ? 1 : 3;
+
   SplitScenario calib = SplitScenario::Make();
-  const double peak = CalibratePeakTps(calib.WorkloadFor(0.2, 4, 0));
+  const double peak = CalibratePeakTps(calib.WorkloadFor(0.2, 4, 0),
+                                       quick ? 600'000 : 1'200'000);
   std::printf("calibrated 100%% workload: %.0f txn/s (each txn = 10 updates)\n",
               peak);
 
@@ -23,10 +123,10 @@ int main() {
       "(split, 20% updates on T)");
   std::printf("%-12s %12s %12s %10s\n", "workload_pct", "base_tps",
               "during_tps", "relative");
-  for (double pct : {50.0, 60.0, 70.0, 80.0, 90.0, 100.0}) {
-    // Median of three repeats: the shared host adds heavy run-to-run noise.
+  for (double pct : pcts) {
+    // Median of repeats: the shared host adds heavy run-to-run noise.
     std::vector<double> rels, bases, durings;
-    for (int rep = 0; rep < 3; ++rep) {
+    for (int rep = 0; rep < reps_per_point; ++rep) {
       const InterferencePoint p = MeasurePopulationInterference(pct, peak);
       if (!p.valid) continue;
       rels.push_back(p.relative_throughput());
@@ -43,5 +143,7 @@ int main() {
   std::printf(
       "\npaper shape: relative throughput 0.94-0.99, decreasing with "
       "workload\n");
+
+  RunPopulateWorkerSweep(quick, "BENCH_fig4a_populate.json");
   return 0;
 }

@@ -3,27 +3,59 @@
 //
 // Paper series: relative response time ~1.05 at 40% workload rising (and
 // getting noisier) to ~1.25-1.30 at 100% workload.
+//
+// Every run writes BENCH_fig4b_response.json (schema-stable across modes);
+// `--quick` (or MORPH_BENCH_QUICK=1) shrinks the sweep to a CI-smoke-sized
+// subset.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "bench/harness/interference.h"
 
 using namespace morph::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+  if (const char* env = std::getenv("MORPH_BENCH_QUICK");
+      env && env[0] != '\0' && env[0] != '0') {
+    quick = true;
+  }
+  if (quick) std::printf("quick mode: CI-smoke-sized sweep\n");
+
+  const std::vector<double> pcts =
+      quick ? std::vector<double>{60.0, 100.0}
+            : std::vector<double>{40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0};
+  const int reps_per_point = quick ? 1 : 3;
+
   SplitScenario calib = SplitScenario::Make();
-  const double peak = CalibratePeakTps(calib.WorkloadFor(0.2, 4, 0));
+  const double peak = CalibratePeakTps(calib.WorkloadFor(0.2, 4, 0),
+                                       quick ? 600'000 : 1'200'000);
   std::printf("calibrated 100%% workload: %.0f txn/s (each txn = 10 updates)\n",
               peak);
+
+  struct Point {
+    double workload_pct;
+    double base_resp_micros;
+    double during_resp_micros;
+    double relative;
+  };
+  std::vector<Point> points;
 
   PrintHeader(
       "Figure 4(b): relative response time during initial population "
       "(split, 20% updates on T)");
   std::printf("%-12s %14s %14s %10s\n", "workload_pct", "base_resp_us",
               "during_resp_us", "relative");
-  for (double pct : {40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0}) {
+  for (double pct : pcts) {
     std::vector<double> rels, bases, durings;
-    for (int rep = 0; rep < 3; ++rep) {
+    for (int rep = 0; rep < reps_per_point; ++rep) {
       const InterferencePoint p = MeasurePopulationInterference(pct, peak);
       if (!p.valid) continue;
       rels.push_back(p.relative_response());
@@ -34,11 +66,35 @@ int main() {
       std::printf("%-12.0f %14s %14s %10s\n", pct, "-", "-", "(window missed)");
       continue;
     }
+    points.push_back({pct, MedianOf(bases), MedianOf(durings), MedianOf(rels)});
     std::printf("%-12.0f %14.0f %14.0f %10.3f\n", pct, MedianOf(bases),
                 MedianOf(durings), MedianOf(rels));
   }
   std::printf(
       "\npaper shape: relative response time 1.05-1.30, rising with "
       "workload\n");
+
+  if (std::FILE* f = std::fopen("BENCH_fig4b_response.json", "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig4b_response_time\",\n"
+                 "  \"quick\": %s,\n  \"cores\": %u,\n  \"peak_tps\": %.0f,\n"
+                 "  \"points\": [",
+                 quick ? "true" : "false", std::thread::hardware_concurrency(),
+                 peak);
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"workload_pct\": %.0f, "
+                   "\"base_resp_micros\": %.1f, "
+                   "\"during_resp_micros\": %.1f, "
+                   "\"relative_response\": %.4f}",
+                   i ? "," : "", points[i].workload_pct,
+                   points[i].base_resp_micros, points[i].during_resp_micros,
+                   points[i].relative);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_fig4b_response.json (%zu points)\n",
+                points.size());
+  }
   return 0;
 }

@@ -7,33 +7,55 @@ namespace morph {
 std::vector<Row> FullOuterJoin(const std::vector<Row>& r, size_t r_join,
                                const std::vector<Row>& s, size_t s_join,
                                size_t r_width, size_t s_width) {
-  std::vector<Row> out;
-  out.reserve(r.size() + s.size());
-
-  // Build side: S keyed by join attribute. matched[i] marks S rows that
-  // found at least one R partner.
-  std::unordered_map<Value, std::vector<size_t>, ValueHasher> s_by_join;
+  // Build side: S row *indices* keyed by the join value's precomputed hash,
+  // equality re-checked on probe (collisions share a bucket). No Value is
+  // copied into the map and each S row's join value is hashed exactly once.
+  std::unordered_map<size_t, std::vector<size_t>> s_by_hash;
+  s_by_hash.reserve(s.size());
   for (size_t i = 0; i < s.size(); ++i) {
     const Value& key = s[i][s_join];
     if (key.is_null()) continue;  // NULL joins nothing
-    s_by_join[key].push_back(i);
+    s_by_hash[key.Hash()].push_back(i);
   }
   std::vector<bool> matched(s.size(), false);
 
+  // Counting pass: an R row with k partners emits k rows, so the old
+  // reserve(r.size() + s.size()) undercounted many-to-many joins and the
+  // output could reallocate mid-emit. Counting first gives the exact size
+  // and fills `matched`, making the S tail a pure read in the emit pass.
+  const auto for_each_match = [&](const Row& r_row, auto&& fn) {
+    const Value& key = r_row[r_join];
+    if (key.is_null()) return;
+    const auto it = s_by_hash.find(key.Hash());
+    if (it == s_by_hash.end()) return;
+    for (size_t i : it->second) {
+      if (s[i][s_join] == key) fn(i);
+    }
+  };
+  size_t out_size = 0;
+  for (const Row& r_row : r) {
+    size_t matches = 0;
+    for_each_match(r_row, [&](size_t i) {
+      matched[i] = true;
+      ++matches;
+    });
+    out_size += matches > 0 ? matches : 1;
+  }
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (!matched[i]) ++out_size;
+  }
+
+  std::vector<Row> out;
+  out.reserve(out_size);
   const Row r_nulls = Row::Nulls(r_width);
   const Row s_nulls = Row::Nulls(s_width);
-
   for (const Row& r_row : r) {
-    const Value& key = r_row[r_join];
-    auto it = key.is_null() ? s_by_join.end() : s_by_join.find(key);
-    if (it == s_by_join.end() || it->second.empty()) {
-      out.push_back(Row::Concat(r_row, s_nulls));
-      continue;
-    }
-    for (size_t i : it->second) {
-      matched[i] = true;
+    bool any = false;
+    for_each_match(r_row, [&](size_t i) {
+      any = true;
       out.push_back(Row::Concat(r_row, s[i]));
-    }
+    });
+    if (!any) out.push_back(Row::Concat(r_row, s_nulls));
   }
   for (size_t i = 0; i < s.size(); ++i) {
     if (!matched[i]) out.push_back(Row::Concat(r_nulls, s[i]));

@@ -191,6 +191,89 @@ Status Table::Rmw(const Row& key,
   return Status::OK();
 }
 
+Result<Table::BatchStats> Table::InsertBatch(std::vector<Record> records) {
+  return ApplyBatch(std::move(records), /*lsn_upsert=*/false);
+}
+
+Result<Table::BatchStats> Table::UpsertBatchLsnGated(
+    std::vector<Record> records) {
+  return ApplyBatch(std::move(records), /*lsn_upsert=*/true);
+}
+
+Result<Table::BatchStats> Table::ApplyBatch(std::vector<Record> records,
+                                            bool lsn_upsert) {
+  BatchStats stats;
+  if (records.empty()) return stats;
+  MORPH_FAILPOINT("storage.table.insert_batch");
+
+  // Resolve within-batch duplicates up front so the shard pass stores at
+  // most one record per key: first occurrence wins (plain insert) or the
+  // highest-LSN occurrence wins (LSN-gated upsert) — matching what the
+  // per-record Insert / Insert+Mutate loops produced.
+  std::vector<Row> pks;
+  pks.reserve(records.size());
+  for (const Record& rec : records) pks.push_back(schema_.KeyOf(rec.row));
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  {
+    std::unordered_map<Row, size_t, RowHasher> winner;
+    winner.reserve(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      auto [it, fresh] = winner.try_emplace(pks[i], i);
+      if (fresh) continue;
+      stats.skipped++;
+      if (lsn_upsert && records[it->second].lsn < records[i].lsn) {
+        it->second = i;
+      }
+    }
+    for (const auto& [pk, i] : winner) {
+      by_shard[pk.Hash() & shard_mask_].push_back(i);
+    }
+  }
+
+  // One mutex acquisition per destination shard. Replaced old images are
+  // kept aside: their index entries must go, but never under a shard mutex
+  // (the lock-order rule every mutation path follows).
+  std::vector<size_t> added;       // records[] indices needing IndexAdd
+  std::vector<Record> replaced;    // old images needing IndexRemove
+  std::vector<size_t> replaced_i;  // parallel: records[] index of the winner
+  for (size_t sh = 0; sh < shards_.size(); ++sh) {
+    if (by_shard[sh].empty()) continue;
+    Shard& shard = shards_[sh];
+    std::unique_lock lock(shard.mu);
+    for (size_t i : by_shard[sh]) {
+      auto [it, inserted] = shard.map.try_emplace(pks[i], records[i]);
+      if (inserted) {
+        stats.inserted++;
+        added.push_back(i);
+      } else if (lsn_upsert && it->second.lsn < records[i].lsn) {
+        replaced.push_back(std::move(it->second));
+        replaced_i.push_back(i);
+        it->second = records[i];
+        stats.replaced++;
+      } else {
+        stats.skipped++;
+      }
+    }
+  }
+  MORPH_COUNTER_ADD("storage.table.inserts",
+                    static_cast<int64_t>(stats.inserted + stats.replaced));
+
+  // Index maintenance outside the shard mutexes, amortized to one
+  // indexes_mu_ acquisition for the whole batch.
+  if (!added.empty() || !replaced.empty()) {
+    std::unique_lock lock(indexes_mu_);
+    for (auto& idx : indexes_) {
+      for (size_t k = 0; k < replaced.size(); ++k) {
+        const size_t i = replaced_i[k];
+        idx->Remove(idx->KeyOf(replaced[k].row), pks[i]);
+        idx->Add(idx->KeyOf(records[i].row), pks[i]);
+      }
+      for (size_t i : added) idx->Add(idx->KeyOf(records[i].row), pks[i]);
+    }
+  }
+  return stats;
+}
+
 void Table::FuzzyScan(const std::function<void(const Record&)>& fn) const {
   for (const Shard& shard : shards_) {
     std::vector<Record> snapshot;
@@ -201,6 +284,16 @@ void Table::FuzzyScan(const std::function<void(const Record&)>& fn) const {
     }
     for (const Record& record : snapshot) fn(record);
   }
+}
+
+std::vector<Record> Table::SnapshotShard(size_t shard_index) const {
+  std::vector<Record> snapshot;
+  if (shard_index >= shards_.size()) return snapshot;
+  const Shard& shard = shards_[shard_index];
+  std::unique_lock lock(shard.mu);
+  snapshot.reserve(shard.map.size());
+  for (const auto& [key, record] : shard.map) snapshot.push_back(record);
+  return snapshot;
 }
 
 void Table::ForEach(const std::function<void(const Record&)>& fn) const {

@@ -59,6 +59,34 @@ class Table {
   /// Fails with AlreadyExists if the key is present.
   Status Insert(Record record);
 
+  /// \brief What a batched insert/upsert did, per record.
+  struct BatchStats {
+    size_t inserted = 0;  ///< new keys stored
+    size_t replaced = 0;  ///< upsert replaced an older-LSN record
+    size_t skipped = 0;   ///< duplicates tolerated (in the batch or stored)
+  };
+
+  /// \brief Bulk insert for the population pipeline: records are grouped by
+  /// destination shard so each shard mutex is taken once per batch, and all
+  /// secondary-index maintenance runs as one pass under one indexes_mu_
+  /// acquisition — versus one mutex pair per record on the Insert path.
+  ///
+  /// Duplicate keys are *tolerated*, not errors: within the batch the first
+  /// occurrence wins, against stored records the stored one wins — exactly
+  /// what a loop of Insert calls ignoring AlreadyExists produces, which is
+  /// how the fuzzy population treats anomaly duplicates (the log converges
+  /// them later).
+  Result<BatchStats> InsertBatch(std::vector<Record> records);
+
+  /// \brief Like InsertBatch, but an existing record is replaced when the
+  /// incoming one carries a strictly higher LSN (ties keep the stored
+  /// record) — the newest-contributor seeding rule the merge population
+  /// applies per record via Insert + Mutate. The gate is evaluated under the
+  /// shard mutex, so concurrent batches converge on the max-LSN image in any
+  /// arrival order; within one batch the highest-LSN occurrence of a key
+  /// wins.
+  Result<BatchStats> UpsertBatchLsnGated(std::vector<Record> records);
+
   /// \brief Replaces the record at `key` (the new row must have the same
   /// primary key). Secondary indexes are maintained.
   Status Update(const Row& key, Record record);
@@ -103,6 +131,18 @@ class Table {
   /// `fn` is invoked outside any shard mutex.
   void FuzzyScan(const std::function<void(const Record&)>& fn) const;
 
+  /// \brief Number of physical shards (the unit of SnapshotShard and the
+  /// natural partition grain for parallel scans).
+  size_t num_shards() const { return shards_.size(); }
+
+  /// \brief One shard's worth of a fuzzy scan: the records of shard
+  /// `shard_index` copied out under that shard's mutex (no record is ever
+  /// torn), writers free everywhere else. Calling this for every shard index
+  /// is FuzzyScan decomposed — each key lives in exactly one shard, so
+  /// workers owning disjoint shard ranges cover the table exactly once
+  /// without ever materializing it whole.
+  std::vector<Record> SnapshotShard(size_t shard_index) const;
+
   /// \brief Action-consistent iteration: every shard mutex is held (acquired
   /// in index order) for the duration of one pass, so `fn` sees a single
   /// point-in-time image even while writers are running — no record is torn
@@ -144,6 +184,9 @@ class Table {
 
   void IndexAdd(const Record& record, const Row& pk);
   void IndexRemove(const Record& record, const Row& pk);
+
+  /// Shared implementation of InsertBatch / UpsertBatchLsnGated.
+  Result<BatchStats> ApplyBatch(std::vector<Record> records, bool lsn_upsert);
 
   const TableId id_;
   std::string name_;

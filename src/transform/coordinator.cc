@@ -202,6 +202,11 @@ Result<TransformStats> TransformCoordinator::Run() {
   phase_.store(Phase::kPopulating, std::memory_order_release);
   rules_->set_throttle(&priority_);
   {
+    PopulateConfig populate_config;
+    populate_config.workers = config_.populate_workers;
+    rules_->set_populate_config(populate_config);
+  }
+  {
     const auto t0 = Clock::Now();
     const Status st = rules_->InitialPopulate();
     stats.populate_micros = Clock::MicrosSince(t0);

@@ -94,6 +94,11 @@ struct TransformConfig {
   size_t propagate_workers = 0;
   /// Bounded per-worker queue capacity, in records. 0 = 2 * batch_size.
   size_t propagate_queue_capacity = 0;
+  /// Parallel initial-population workers (see transform/populate.h). 0 =
+  /// serial: the same pipeline code runs inline on the coordinator thread.
+  /// Scan work is partitioned by storage shard and operator build state by
+  /// key hash, so any worker count yields the same target tables.
+  size_t populate_workers = 0;
 };
 
 /// \brief Per-run statistics returned by TransformCoordinator::Run().

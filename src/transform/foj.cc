@@ -1,11 +1,11 @@
 #include "transform/foj.h"
 
+#include <atomic>
 #include <optional>
 #include <unordered_map>
 
 #include "common/clock.h"
-#include "common/relops.h"
-#include "transform/fuzzy_scan.h"
+#include "transform/populate.h"
 
 namespace morph::transform {
 
@@ -96,27 +96,138 @@ Status FojRules::Prepare() {
 }
 
 Status FojRules::InitialPopulate() {
-  const std::vector<Row> r_rows = FuzzySnapshotRows(*r_);
-  const std::vector<Row> s_rows = FuzzySnapshotRows(*s_);
-  const std::vector<Row> joined = morph::FullOuterJoin(
-      r_rows, r_join_idx_, s_rows, s_join_idx_, r_width_, s_width_);
-  constexpr size_t kThrottleBatch = 256;
-  auto batch_start = Clock::Now();
-  for (size_t i = 0; i < joined.size(); ++i) {
-    storage::Record record;
-    record.row = joined[i];
-    record.lsn = kInvalidLsn;  // no valid state identifier in T (§4.2)
-    const Status st = t_->Insert(std::move(record));
-    // A duplicate can only come from a fuzzy anomaly; the later log records
-    // converge it, so tolerate.
-    if (!st.ok() && !st.IsAlreadyExists()) return st;
-    if ((i + 1) % kThrottleBatch == 0) {
-      // Population is background work too: pay the duty cycle.
-      Throttle(Clock::NanosSince(batch_start));
-      batch_start = Clock::Now();
-    }
-  }
-  return Status::OK();
+  // Partitioned hash join, streamed (paper §3.2): S is scanned into `parts`
+  // hash partitions keyed by its join value, R is probed shard by shard,
+  // and every result row goes straight through a BatchSink into T. The
+  // full `joined` vector the pre-pipeline code materialized (on top of two
+  // whole-table snapshots) never exists — peak memory is the S build side
+  // plus one batch per worker instead of ~3x the output. Every (r, s) pair
+  // and every padding record is emitted exactly once by exactly one worker,
+  // so T is identical for any worker count. All T records carry
+  // lsn = kInvalidLsn: no valid state identifier exists in T (§4.2), and
+  // duplicates from fuzzy anomalies are tolerated — the log converges them.
+  const PopulateConfig& config = populate_config();
+  const size_t parts = std::max<size_t>(1, config.workers);
+
+  struct SPartition {
+    std::vector<Row> rows;
+    /// join-value hash -> indices into rows; equality re-checked on probe
+    /// (hash collisions share a bucket).
+    std::unordered_map<size_t, std::vector<size_t>> by_join;
+    /// Set by probe workers (relaxed: phase joins are the sync points).
+    std::unique_ptr<std::atomic<bool>[]> matched;
+  };
+  std::vector<SPartition> partitions(parts);
+  // Scanner-local buckets[scanner][partition]: scanners own disjoint S
+  // shards and write only their own row; partition owners merge afterwards,
+  // so no bucket is ever shared between threads.
+  std::vector<std::vector<std::vector<Row>>> buckets(
+      parts, std::vector<std::vector<Row>>(parts));
+
+  // Phase 1 — scan S: rows with a NULL join value match nothing and are
+  // emitted as padding immediately; the rest are bucketed by join hash.
+  MORPH_RETURN_NOT_OK(RunPopulatePhase(
+      throttle_controller(), config, [&](PopulateWorker& w) -> Status {
+        BatchSink sink(t_.get(), BatchSink::Mode::kInsert, &w);
+        std::vector<std::vector<Row>>& mine = buckets[w.index()];
+        for (size_t sh = w.index(); sh < s_->num_shards();
+             sh += w.partitions()) {
+          for (storage::Record& rec : s_->SnapshotShard(sh)) {
+            const Value& jv = rec.row[s_join_idx_];
+            if (jv.is_null()) {
+              storage::Record out;
+              out.row = MakeT(Row::Nulls(r_width_), rec.row);
+              out.lsn = kInvalidLsn;
+              MORPH_RETURN_NOT_OK(sink.Add(std::move(out)));
+              continue;
+            }
+            mine[jv.Hash() % parts].push_back(std::move(rec.row));
+          }
+        }
+        return sink.Flush();
+      }));
+
+  // Phase 2 — build: worker p owns partition p; it merges every scanner's
+  // bucket for p and builds the probe map. No cross-thread writes.
+  MORPH_RETURN_NOT_OK(RunPopulatePhase(
+      throttle_controller(), config, [&](PopulateWorker& w) -> Status {
+        SPartition& part = partitions[w.index()];
+        size_t total = 0;
+        for (size_t scanner = 0; scanner < parts; ++scanner) {
+          total += buckets[scanner][w.index()].size();
+        }
+        part.rows.reserve(total);
+        for (size_t scanner = 0; scanner < parts; ++scanner) {
+          for (Row& row : buckets[scanner][w.index()]) {
+            part.rows.push_back(std::move(row));
+          }
+          buckets[scanner][w.index()].clear();
+        }
+        part.by_join.reserve(part.rows.size());
+        for (size_t i = 0; i < part.rows.size(); ++i) {
+          part.by_join[part.rows[i][s_join_idx_].Hash()].push_back(i);
+        }
+        part.matched = std::make_unique<std::atomic<bool>[]>(part.rows.size());
+        for (size_t i = 0; i < part.rows.size(); ++i) {
+          part.matched[i].store(false, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      }));
+
+  // Phase 3 — probe R shard by shard. The partition maps are read-only
+  // now; any worker may read any partition. Matched S rows are flagged.
+  MORPH_RETURN_NOT_OK(RunPopulatePhase(
+      throttle_controller(), config, [&](PopulateWorker& w) -> Status {
+        BatchSink sink(t_.get(), BatchSink::Mode::kInsert, &w);
+        const Row s_nulls = Row::Nulls(s_width_);
+        for (size_t sh = w.index(); sh < r_->num_shards();
+             sh += w.partitions()) {
+          for (const storage::Record& rec : r_->SnapshotShard(sh)) {
+            const Row& r_row = rec.row;
+            const Value& jv = r_row[r_join_idx_];
+            bool matched_any = false;
+            if (!jv.is_null()) {
+              const size_t h = jv.Hash();
+              SPartition& part = partitions[h % parts];
+              auto it = part.by_join.find(h);
+              if (it != part.by_join.end()) {
+                for (size_t i : it->second) {
+                  if (!(part.rows[i][s_join_idx_] == jv)) continue;
+                  matched_any = true;
+                  part.matched[i].store(true, std::memory_order_relaxed);
+                  storage::Record out;
+                  out.row = MakeT(r_row, part.rows[i]);
+                  out.lsn = kInvalidLsn;
+                  MORPH_RETURN_NOT_OK(sink.Add(std::move(out)));
+                }
+              }
+            }
+            if (!matched_any) {
+              storage::Record out;
+              out.row = MakeT(r_row, s_nulls);
+              out.lsn = kInvalidLsn;
+              MORPH_RETURN_NOT_OK(sink.Add(std::move(out)));
+            }
+          }
+        }
+        return sink.Flush();
+      }));
+
+  // Phase 4 — each partition owner emits its unmatched S rows as padding.
+  return RunPopulatePhase(
+      throttle_controller(), config, [&](PopulateWorker& w) -> Status {
+        BatchSink sink(t_.get(), BatchSink::Mode::kInsert, &w);
+        SPartition& part = partitions[w.index()];
+        const Row r_nulls = Row::Nulls(r_width_);
+        for (size_t i = 0; i < part.rows.size(); ++i) {
+          if (part.matched[i].load(std::memory_order_relaxed)) continue;
+          storage::Record out;
+          out.row = MakeT(r_nulls, part.rows[i]);
+          out.lsn = kInvalidLsn;
+          MORPH_RETURN_NOT_OK(sink.Add(std::move(out)));
+        }
+        return sink.Flush();
+      });
 }
 
 // --- T-row helpers ---------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "transform/hsplit.h"
 
 #include "common/clock.h"
+#include "transform/populate.h"
 
 namespace morph::transform {
 
@@ -24,23 +25,29 @@ Status HorizontalSplitRules::Prepare() {
 }
 
 Status HorizontalSplitRules::InitialPopulate() {
-  constexpr size_t kThrottleBatch = 256;
-  size_t scanned = 0;
-  auto batch_start = Clock::Now();
-  Status status;
-  t_src_->FuzzyScan([&](const storage::Record& rec) {
-    if (!status.ok()) return;
-    if (++scanned % kThrottleBatch == 0) {
-      Throttle(Clock::NanosSince(batch_start));
-      batch_start = Clock::Now();
-    }
-    storage::Record copy;
-    copy.row = rec.row;
-    copy.lsn = rec.lsn;
-    const Status st = Route(rec.row)->Insert(std::move(copy));
-    if (!st.ok() && !st.IsAlreadyExists()) status = st;
-  });
-  return status;
+  // Shard-partitioned fuzzy scan of T; each worker routes its verbatim
+  // copies (source LSN = state identifier) into one batch sink per side.
+  // Each T key lives in exactly one shard, so exactly one worker emits it —
+  // the targets are identical for any worker count.
+  return RunPopulatePhase(
+      throttle_controller(), populate_config(),
+      [&](PopulateWorker& w) -> Status {
+        BatchSink r_sink(r_.get(), BatchSink::Mode::kInsert, &w);
+        BatchSink s_sink(s_.get(), BatchSink::Mode::kInsert, &w);
+        for (size_t sh = w.index(); sh < t_src_->num_shards();
+             sh += w.partitions()) {
+          for (storage::Record& rec : t_src_->SnapshotShard(sh)) {
+            storage::Record copy;
+            copy.row = std::move(rec.row);
+            copy.lsn = rec.lsn;
+            BatchSink& sink =
+                Route(copy.row) == r_.get() ? r_sink : s_sink;
+            MORPH_RETURN_NOT_OK(sink.Add(std::move(copy)));
+          }
+        }
+        MORPH_RETURN_NOT_OK(r_sink.Flush());
+        return s_sink.Flush();
+      });
 }
 
 Status HorizontalSplitRules::Apply(const Op& op,

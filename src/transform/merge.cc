@@ -1,6 +1,7 @@
 #include "transform/merge.h"
 
 #include "common/clock.h"
+#include "transform/populate.h"
 
 namespace morph::transform {
 
@@ -44,37 +45,29 @@ Status MergeRules::Prepare() {
 }
 
 Status MergeRules::InitialPopulate() {
-  // Fuzzy-copy both sources; on a (transient) duplicate key, the copy with
-  // the higher LSN wins — the same newest-contributor seeding the split
-  // uses, making the LSN gates of the propagation rules sound.
-  constexpr size_t kThrottleBatch = 256;
-  for (const auto& src : {r_, s_}) {
-    size_t scanned = 0;
-    auto batch_start = Clock::Now();
-    Status status;
-    src->FuzzyScan([&](const storage::Record& rec) {
-      if (!status.ok()) return;
-      if (++scanned % kThrottleBatch == 0) {
-        Throttle(Clock::NanosSince(batch_start));
-        batch_start = Clock::Now();
-      }
-      storage::Record copy;
-      copy.row = rec.row;
-      copy.lsn = rec.lsn;
-      Status st = t_->Insert(std::move(copy));
-      if (st.IsAlreadyExists()) {
-        st = t_->Mutate(t_->schema().KeyOf(rec.row), [&](storage::Record* cur) {
-          if (cur->lsn >= rec.lsn) return false;
-          cur->row = rec.row;
-          cur->lsn = rec.lsn;
-          return true;
-        });
-      }
-      if (!st.ok()) status = st;
-    });
-    MORPH_RETURN_NOT_OK(status);
-  }
-  return Status::OK();
+  // Fuzzy-copy both sources through the LSN-gated batch upsert; on a
+  // (transient) duplicate key, the copy with the higher LSN wins — the same
+  // newest-contributor seeding the split uses, making the LSN gates of the
+  // propagation rules sound. The gate is evaluated inside the table under
+  // its shard mutex, so it resolves duplicates across *workers'* batches in
+  // any arrival order just as it did across the two serial scans.
+  return RunPopulatePhase(
+      throttle_controller(), populate_config(),
+      [&](PopulateWorker& w) -> Status {
+        BatchSink sink(t_.get(), BatchSink::Mode::kLsnUpsert, &w);
+        for (const auto& src : {r_, s_}) {
+          for (size_t sh = w.index(); sh < src->num_shards();
+               sh += w.partitions()) {
+            for (storage::Record& rec : src->SnapshotShard(sh)) {
+              storage::Record copy;
+              copy.row = std::move(rec.row);
+              copy.lsn = rec.lsn;
+              MORPH_RETURN_NOT_OK(sink.Add(std::move(copy)));
+            }
+          }
+        }
+        return sink.Flush();
+      });
 }
 
 Status MergeRules::Apply(const Op& op, std::vector<txn::RecordId>* affected) {

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "storage/table.h"
 #include "transform/op.h"
+#include "transform/populate.h"
 #include "transform/priority.h"
 #include "txn/lock_manager.h"
 #include "wal/log_record.h"
@@ -41,7 +42,11 @@ struct RouteKey {
 /// SplitRules (paper §5, with counters and C/U consistency flags).
 ///
 /// Threading contract: Prepare / InitialPopulate are called from the single
-/// coordinator thread. Apply is called from the propagator's worker threads
+/// coordinator thread; InitialPopulate may internally fan out across
+/// population workers (transform/populate.h) — any threads it spawns are
+/// joined, and their failures funneled, before it returns, so to the
+/// coordinator it remains one synchronous call. Apply is called from the
+/// propagator's worker threads
 /// — concurrently for ops whose RoutingKey()s differ, in LSN order from one
 /// thread for ops whose keys are equal (propagate_workers = 0 degenerates
 /// to all ops on the coordinator thread). OnControlRecord and
@@ -148,14 +153,30 @@ class OperatorRules {
   /// transformation's background duty cycle. May be nullptr (no throttle).
   void set_throttle(PriorityController* throttle) { throttle_ = throttle; }
 
+  /// \brief Installs the population-pipeline shape (worker count, batch
+  /// size); called by the coordinator alongside set_throttle, from
+  /// TransformConfig::populate_workers. Default: serial, 256-record
+  /// batches.
+  void set_populate_config(const PopulateConfig& config) {
+    populate_config_ = config;
+  }
+
  protected:
   /// Pays the duty-cycle cost of `work_nanos` of internal work.
   void Throttle(int64_t work_nanos) {
     if (throttle_ != nullptr) throttle_->OnWorkDone(work_nanos);
   }
 
+  /// The pipeline shape InitialPopulate should run with.
+  const PopulateConfig& populate_config() const { return populate_config_; }
+
+  /// The raw controller, for the population pipeline's per-worker
+  /// throttles (may be nullptr).
+  PriorityController* throttle_controller() const { return throttle_; }
+
  private:
   PriorityController* throttle_ = nullptr;
+  PopulateConfig populate_config_;
 };
 
 }  // namespace morph::transform

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "transform/priority.h"
+
+namespace morph::transform {
+
+/// \brief Shape of the shared initial-population pipeline (paper §3.2).
+///
+/// Every operator's InitialPopulate() is a sequence of *phases* run through
+/// RunPopulatePhase: each phase executes the same body once per worker, with
+/// worker w owning source shards (and any hash-partitioned build state)
+/// congruent to w modulo the worker count. Records leave each worker through
+/// a BatchSink, which amortizes shard-mutex and index traffic via
+/// Table::InsertBatch and pays the duty cycle on every flush.
+///
+/// Design rule carried over from the propagation pipeline: the serial path
+/// is the N = 0 case of the same code — zero workers runs the identical
+/// phase body inline on the calling thread with a single partition, not a
+/// separate legacy implementation.
+struct PopulateConfig {
+  /// Scan/insert workers. 0 = serial (one inline partition on the caller).
+  size_t workers = 0;
+  /// Records per BatchSink flush; also the throttle-payment granularity,
+  /// matching the serial operators' historical 256-record slices.
+  size_t batch_size = 256;
+};
+
+class PopulateWorker;
+
+/// \brief Runs one pipeline phase: `body(worker)` once per worker.
+///
+/// With config.workers == 0 the body runs inline on the calling thread
+/// (worker 0 of 1). Otherwise one thread per worker is spawned and joined
+/// before returning; the first non-OK Status is returned, and the first
+/// exception (a crash failpoint firing on a worker thread, say) is
+/// re-thrown on the calling thread — exceptions never cross the
+/// std::thread boundary, mirroring the propagator's failure funneling.
+/// After the body returns OK, any wall-clock time it has not yet paid to
+/// the throttle is paid, so a phase is fully covered by the duty cycle
+/// even if it never flushed a sink.
+Status RunPopulatePhase(PriorityController* throttle,
+                        const PopulateConfig& config,
+                        const std::function<Status(PopulateWorker&)>& body);
+
+/// \brief One worker's identity and throttle within a population phase.
+///
+/// Workers partition two kinds of state by congruence: source *shards*
+/// (`for (sh = index(); sh < t->num_shards(); sh += partitions())` — each
+/// key lives in exactly one shard, so ranges are disjoint and cover the
+/// table) and *hash buckets* of operator build state (`hash % partitions()`
+/// names the owning worker). The throttle mark lives on the worker, not on
+/// a sink, so a phase with several sinks never pays the same wall time
+/// twice.
+class PopulateWorker {
+ public:
+  size_t index() const { return index_; }
+  /// Partition count: max(1, config.workers) — 1 on the serial path.
+  size_t partitions() const { return partitions_; }
+  size_t batch_size() const { return batch_size_; }
+
+  /// \brief Pays the duty cycle for all wall time since the previous
+  /// payment (the sleep, if owed, happens here; slept time is not counted
+  /// as work).
+  void PayThrottle() {
+    const int64_t work = Clock::NanosSince(mark_);
+    throttle_.OnWorkDone(work);
+    mark_ = Clock::Now();
+  }
+
+ private:
+  friend Status RunPopulatePhase(
+      PriorityController* throttle, const PopulateConfig& config,
+      const std::function<Status(PopulateWorker&)>& body);
+
+  PopulateWorker(size_t index, size_t partitions, size_t batch_size,
+                 PriorityController* controller)
+      : index_(index),
+        partitions_(partitions),
+        batch_size_(batch_size),
+        throttle_(controller),
+        mark_(Clock::Now()) {}
+
+  const size_t index_;
+  const size_t partitions_;
+  const size_t batch_size_;
+  PriorityController::WorkerThrottle throttle_;
+  Clock::TimePoint mark_;
+};
+
+/// \brief Per-worker batched sink into one target table.
+///
+/// Add() buffers; every batch_size records (and on the final Flush) the
+/// buffer goes to the table as one grouped batch — one shard-mutex
+/// acquisition per destination shard, one index pass — after which the
+/// worker pays the duty cycle for everything since its last payment. The
+/// sink is how the split's S-side flush, once an unthrottled burst, became
+/// throttled for free: all population inserts funnel through here.
+class BatchSink {
+ public:
+  enum class Mode {
+    /// Duplicates tolerated (first/stored occurrence wins) — the fuzzy
+    /// population default: anomaly duplicates converge via the log.
+    kInsert,
+    /// Higher-LSN image wins (Table::UpsertBatchLsnGated) — the merge
+    /// population's newest-contributor seeding.
+    kLsnUpsert,
+  };
+
+  BatchSink(storage::Table* target, Mode mode, PopulateWorker* worker)
+      : target_(target), mode_(mode), worker_(worker) {
+    batch_.reserve(worker_->batch_size());
+  }
+
+  /// \brief Buffers one record, flushing when the batch is full.
+  Status Add(storage::Record record) {
+    batch_.push_back(std::move(record));
+    if (batch_.size() >= worker_->batch_size()) return Flush();
+    return Status::OK();
+  }
+
+  /// \brief Writes the buffered batch (no-op when empty). Must be called
+  /// once more after the last Add.
+  Status Flush();
+
+ private:
+  storage::Table* target_;
+  const Mode mode_;
+  PopulateWorker* worker_;
+  std::vector<storage::Record> batch_;
+};
+
+}  // namespace morph::transform

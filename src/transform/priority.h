@@ -52,30 +52,32 @@ class PriorityController {
   /// 50 ms; the loop re-reads the priority between chunks and forgives the
   /// remaining debt when it was raised, since that debt was priced at the
   /// old priority.
-  void OnWorkDone(int64_t work_nanos) {
-    if (work_nanos <= 0) return;
-    work_nanos_total_.fetch_add(work_nanos, std::memory_order_relaxed);
-    const double p = priority();
-    if (p >= 1.0) {
-      sleep_debt_nanos_ = 0;  // stale debt priced at a lower priority
-      return;
-    }
-    sleep_debt_nanos_ += static_cast<double>(work_nanos) * (1.0 - p) / p;
-    constexpr double kMinSleepNanos = 100'000.0;      // 100 µs quantum
-    constexpr double kMaxSleepNanos = 50'000'000.0;   // stay responsive
-    while (sleep_debt_nanos_ >= kMinSleepNanos) {
-      const double chunk = std::min(sleep_debt_nanos_, kMaxSleepNanos);
-      std::this_thread::sleep_for(
-          std::chrono::nanoseconds(static_cast<int64_t>(chunk)));
-      slept_nanos_total_.fetch_add(static_cast<int64_t>(chunk),
-                                   std::memory_order_relaxed);
-      sleep_debt_nanos_ -= chunk;
-      if (priority() > p) {
-        sleep_debt_nanos_ = 0;
-        break;
+  void OnWorkDone(int64_t work_nanos) { PayInto(&sleep_debt_nanos_, work_nanos); }
+
+  /// \brief Per-worker throttle handle for parallel stages (the initial-
+  /// population pipeline's scan/insert workers). Each handle owns a private
+  /// sleep debt — preserving the single-payer-per-debt contract the
+  /// controller's own debt relies on — while work and sleep totals aggregate
+  /// into the shared controller's atomics. Every worker independently
+  /// sleeping (1 - p) / p of its own work keeps the *group's* duty
+  /// (totals().achieved()) at p in any interleaving: the ratio holds per
+  /// worker, so it holds for the sum.
+  class WorkerThrottle {
+   public:
+    /// \param controller shared controller; nullptr = unthrottled.
+    explicit WorkerThrottle(PriorityController* controller)
+        : controller_(controller) {}
+
+    void OnWorkDone(int64_t work_nanos) {
+      if (controller_ != nullptr) {
+        controller_->PayInto(&sleep_debt_nanos_, work_nanos);
       }
     }
-  }
+
+   private:
+    PriorityController* controller_;
+    double sleep_debt_nanos_ = 0;
+  };
 
   /// \brief Cumulative work/sleep accounting, readable from any thread.
   /// `achieved()` is the realized duty cycle; compare against `priority()`
@@ -97,11 +99,41 @@ class PriorityController {
   }
 
  private:
+  /// The debt-payment loop shared by OnWorkDone (paying the controller's
+  /// own debt) and WorkerThrottle (paying a worker-private debt). `*debt`
+  /// must be owned by the calling thread — that is the single-payer
+  /// contract; only the totals are shared (atomics).
+  void PayInto(double* debt, int64_t work_nanos) {
+    if (work_nanos <= 0) return;
+    work_nanos_total_.fetch_add(work_nanos, std::memory_order_relaxed);
+    const double p = priority();
+    if (p >= 1.0) {
+      *debt = 0;  // stale debt priced at a lower priority
+      return;
+    }
+    *debt += static_cast<double>(work_nanos) * (1.0 - p) / p;
+    constexpr double kMinSleepNanos = 100'000.0;      // 100 µs quantum
+    constexpr double kMaxSleepNanos = 50'000'000.0;   // stay responsive
+    while (*debt >= kMinSleepNanos) {
+      const double chunk = std::min(*debt, kMaxSleepNanos);
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(static_cast<int64_t>(chunk)));
+      slept_nanos_total_.fetch_add(static_cast<int64_t>(chunk),
+                                   std::memory_order_relaxed);
+      *debt -= chunk;
+      if (priority() > p) {
+        *debt = 0;
+        break;
+      }
+    }
+  }
+
   std::atomic<double> priority_{1.0};
   /// Owed-but-unpaid sleep; only touched by the thread driving the work —
   /// the pipeline's reader stage (the coordinator thread) during
-  /// propagation, or the populating thread during the initial scan. Apply
-  /// workers never call OnWorkDone.
+  /// propagation, or the populating thread during a serial initial scan.
+  /// Parallel population workers each pay into their own WorkerThrottle
+  /// debt instead; propagation apply workers never call OnWorkDone.
   double sleep_debt_nanos_ = 0;
   std::atomic<int64_t> work_nanos_total_{0};
   std::atomic<int64_t> slept_nanos_total_{0};

@@ -4,7 +4,7 @@
 #include <unordered_map>
 
 #include "common/clock.h"
-#include "transform/fuzzy_scan.h"
+#include "transform/populate.h"
 
 namespace morph::transform {
 
@@ -104,65 +104,101 @@ Status SplitRules::Prepare() {
 }
 
 Status SplitRules::InitialPopulate() {
-  // Fuzzy-read T once; R gets one projected record per T record (keeping
-  // its LSN as the state identifier), S gets one record per split value,
-  // its image and LSN taken from the *newest* contributing row so the
-  // stored image is never older than its LSN claims.
+  // Fuzzy-read T once, shard-partitioned across the population pipeline's
+  // workers; R gets one projected record per T record (keeping its LSN as
+  // the state identifier), S gets one record per split value, its image and
+  // LSN taken from the *newest* contributing row so the stored image is
+  // never older than its LSN claims.
+  //
+  // The per-bucket accumulation is order-independent — the stored image is
+  // the max-LSN contributor and `consistent` holds iff *all* contributing
+  // images were equal (once a mismatch flips it false, later image
+  // replacements can't flip it back) — so scanners can aggregate partials
+  // over disjoint shard ranges and partition owners merge them with the
+  // same rule applied to pre-aggregated halves, byte-identical to the
+  // serial scan in any interleaving.
   struct SAccum {
     Row image;
     Lsn lsn = kInvalidLsn;
     int64_t counter = 0;
     bool consistent = true;
   };
-  std::unordered_map<Row, SAccum, RowHasher> s_accum;
+  using AccumMap = std::unordered_map<Row, SAccum, RowHasher>;
 
-  Status status;
-  size_t scanned = 0;
-  auto batch_start = Clock::Now();
-  t_src_->FuzzyScan([&](const storage::Record& rec) {
-    if (!status.ok()) return;
-    if (++scanned % 256 == 0) {
-      // Population is background work: pay the duty cycle.
-      Throttle(Clock::NanosSince(batch_start));
-      batch_start = Clock::Now();
-    }
-    storage::Record r_rec;
-    r_rec.row = rec.row.Project(r_cols_);
-    r_rec.lsn = rec.lsn;
-    const Status st = r_->Insert(std::move(r_rec));
-    if (!st.ok() && !st.IsAlreadyExists()) {
-      status = st;
-      return;
-    }
-    Row s_row = rec.row.Project(s_cols_);
-    Row s_key = SplitKeyOfS(s_row);
-    SAccum& acc = s_accum[std::move(s_key)];
-    acc.counter++;
-    if (acc.counter == 1) {
-      acc.image = std::move(s_row);
-      acc.lsn = rec.lsn;
-    } else {
-      if (acc.image != s_row) acc.consistent = false;
-      if (rec.lsn > acc.lsn) {
-        acc.lsn = rec.lsn;
-        acc.image = std::move(s_row);
-      }
-    }
-  });
-  MORPH_RETURN_NOT_OK(status);
+  const PopulateConfig& config = populate_config();
+  const size_t parts = std::max<size_t>(1, config.workers);
+  // accums[scanner][partition]: scanner-local S-side partials, bucketed by
+  // split-key hash. No SAccum map is ever shared between threads — scanners
+  // write only their own row, owners merge only their own column.
+  std::vector<std::vector<AccumMap>> accums(parts, std::vector<AccumMap>(parts));
 
-  for (auto& [s_key, acc] : s_accum) {
-    storage::Record s_rec;
-    s_rec.row = std::move(acc.image);
-    s_rec.lsn = acc.lsn;
-    s_rec.counter = acc.counter;
-    // §5.2 assumes consistency; §5.3 flags every S-record that was not
-    // provably consistent in the fuzzy read.
-    s_rec.consistent = spec_.assume_consistent || acc.consistent;
-    const Status st = s_->Insert(std::move(s_rec));
-    if (!st.ok() && !st.IsAlreadyExists()) return st;
-  }
-  return Status::OK();
+  // Phase 1 — scan T: R records stream through the batch sink, the S side
+  // aggregates locally.
+  MORPH_RETURN_NOT_OK(RunPopulatePhase(
+      throttle_controller(), config, [&](PopulateWorker& w) -> Status {
+        BatchSink r_sink(r_.get(), BatchSink::Mode::kInsert, &w);
+        std::vector<AccumMap>& mine = accums[w.index()];
+        for (size_t sh = w.index(); sh < t_src_->num_shards();
+             sh += w.partitions()) {
+          for (const storage::Record& rec : t_src_->SnapshotShard(sh)) {
+            storage::Record r_rec;
+            r_rec.row = rec.row.Project(r_cols_);
+            r_rec.lsn = rec.lsn;
+            MORPH_RETURN_NOT_OK(r_sink.Add(std::move(r_rec)));
+            Row s_row = rec.row.Project(s_cols_);
+            Row s_key = SplitKeyOfS(s_row);
+            SAccum& acc = mine[s_key.Hash() % parts][std::move(s_key)];
+            acc.counter++;
+            if (acc.counter == 1) {
+              acc.image = std::move(s_row);
+              acc.lsn = rec.lsn;
+            } else {
+              if (acc.image != s_row) acc.consistent = false;
+              if (rec.lsn > acc.lsn) {
+                acc.lsn = rec.lsn;
+                acc.image = std::move(s_row);
+              }
+            }
+          }
+        }
+        return r_sink.Flush();
+      }));
+
+  // Phase 2 — partition owners merge the scanners' partials and flush S
+  // through the batch sink, which (unlike the pre-pipeline flush loop) pays
+  // the duty cycle for the burst.
+  return RunPopulatePhase(
+      throttle_controller(), config, [&](PopulateWorker& w) -> Status {
+        AccumMap merged = std::move(accums[0][w.index()]);
+        for (size_t scanner = 1; scanner < parts; ++scanner) {
+          for (auto& [s_key, acc] : accums[scanner][w.index()]) {
+            auto [it, fresh] = merged.try_emplace(s_key, std::move(acc));
+            if (fresh) continue;
+            SAccum& into = it->second;
+            into.counter += acc.counter;
+            if (!(into.consistent && acc.consistent &&
+                  into.image == acc.image)) {
+              into.consistent = false;
+            }
+            if (acc.lsn > into.lsn) {
+              into.lsn = acc.lsn;
+              into.image = std::move(acc.image);
+            }
+          }
+        }
+        BatchSink s_sink(s_.get(), BatchSink::Mode::kInsert, &w);
+        for (auto& [s_key, acc] : merged) {
+          storage::Record s_rec;
+          s_rec.row = std::move(acc.image);
+          s_rec.lsn = acc.lsn;
+          s_rec.counter = acc.counter;
+          // §5.2 assumes consistency; §5.3 flags every S-record that was
+          // not provably consistent in the fuzzy read.
+          s_rec.consistent = spec_.assume_consistent || acc.consistent;
+          MORPH_RETURN_NOT_OK(s_sink.Add(std::move(s_rec)));
+        }
+        return s_sink.Flush();
+      });
 }
 
 // --- helpers -----------------------------------------------------------------

@@ -205,10 +205,12 @@ Scenario HSplitScenario() {
   return sc;
 }
 
-TransformConfig CellConfig(SyncStrategy strategy, size_t workers = 0) {
+TransformConfig CellConfig(SyncStrategy strategy, size_t workers = 0,
+                           size_t populate_workers = 0) {
   TransformConfig config;
   config.strategy = strategy;
   config.propagate_workers = workers;
+  config.populate_workers = populate_workers;
   config.drop_sources = false;  // recovery recreates sources; keep symmetric
   // Bounds the whole run, the drain, and — critically — how long a writer
   // stays parked at the blocking gate when a crash cell kills the
@@ -221,8 +223,8 @@ TransformConfig CellConfig(SyncStrategy strategy, size_t workers = 0) {
 /// Runs the transformation once, cleanly, with tracing on, and returns the
 /// transform-path failpoints this (operator, strategy) pair crosses.
 std::vector<std::string> EnumerateSites(const Scenario& sc,
-                                        SyncStrategy strategy,
-                                        size_t workers) {
+                                        SyncStrategy strategy, size_t workers,
+                                        size_t populate_workers) {
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
@@ -239,7 +241,8 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
   EXPECT_TRUE(writers.WaitForCommits(5));
 
   auto rules = sc.make_rules(&db);
-  TransformCoordinator coord(&db, rules, CellConfig(strategy, workers));
+  TransformCoordinator coord(&db, rules,
+                             CellConfig(strategy, workers, populate_workers));
   auto straddler = db.Begin();
   EXPECT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
                         Row({kStraddlerKey}),
@@ -267,16 +270,19 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
 
 /// One matrix cell: crash at `site`, recover, verify (a)-(c) above.
 void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
-                  const std::string& site) {
+                  size_t populate_workers, const std::string& site) {
   SCOPED_TRACE(sc.name + " / " + std::string(SyncStrategyToString(strategy)) +
-               " / workers=" + std::to_string(workers) + " / crash at " + site);
+               " / workers=" + std::to_string(workers) +
+               " / populate_workers=" + std::to_string(populate_workers) +
+               " / crash at " + site);
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
 
   std::string path = ::testing::TempDir() + "/morph_crash_" + sc.name + "_" +
                      std::string(SyncStrategyToString(strategy)) + "_w" +
-                     std::to_string(workers) + "_" + site + ".log";
+                     std::to_string(workers) + "_pw" +
+                     std::to_string(populate_workers) + "_" + site + ".log";
   for (char& c : path) {
     if (c == '.') c = '_';
   }
@@ -296,7 +302,8 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
     ASSERT_TRUE(writers.WaitForCommits(5));
 
     auto rules = sc.make_rules(&db);
-    TransformCoordinator coord(&db, rules, CellConfig(strategy, workers));
+    TransformCoordinator coord(&db, rules,
+                               CellConfig(strategy, workers, populate_workers));
     auto straddler = db.Begin();
     ASSERT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
                           Row({kStraddlerKey}),
@@ -405,19 +412,20 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
 }
 
 void RunMatrixRow(const Scenario& sc, SyncStrategy strategy,
-                  size_t workers = 0) {
-  const auto sites = EnumerateSites(sc, strategy, workers);
+                  size_t workers = 0, size_t populate_workers = 0) {
+  const auto sites = EnumerateSites(sc, strategy, workers, populate_workers);
   ASSERT_FALSE(sites.empty());
   // Sanity-pin the coverage: the phase boundaries every strategy crosses.
   for (const char* expected :
        {"transform.prepare.before", "transform.fuzzy.begin",
-        "transform.propagate.iteration", "transform.sync.latched",
-        "transform.drain.iteration", "transform.finalize.before_drop"}) {
+        "transform.populate.batch", "transform.propagate.iteration",
+        "transform.sync.latched", "transform.drain.iteration",
+        "transform.finalize.before_drop"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
         << "tracing run did not cross " << expected;
   }
   for (const std::string& site : sites) {
-    RunCrashCell(sc, strategy, workers, site);
+    RunCrashCell(sc, strategy, workers, populate_workers, site);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -468,6 +476,27 @@ TEST(CrashMatrixTest, VSplitNonBlockingAbortParallel) {
 TEST(CrashMatrixTest, HSplitNonBlockingAbortParallel) {
   RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort,
                /*workers=*/3);
+}
+
+// --- parallel population rows ------------------------------------------------
+//
+// Same matrix again with *population* workers: the populate-phase sites
+// ("transform.populate.batch" and anything else the scan bodies cross) now
+// fire on a population worker thread, and RunPopulatePhase must funnel the
+// CrashException across the thread join back to the coordinator. Recovery
+// semantics are identical — the half-populated targets were never logged, so
+// the dead incarnation leaves nothing but the WAL behind.
+TEST(CrashMatrixTest, FojNonBlockingAbortParallelPopulate) {
+  RunMatrixRow(FojScenario(), SyncStrategy::kNonBlockingAbort, /*workers=*/0,
+               /*populate_workers=*/3);
+}
+TEST(CrashMatrixTest, VSplitNonBlockingAbortParallelPopulate) {
+  RunMatrixRow(VSplitScenario(), SyncStrategy::kNonBlockingAbort,
+               /*workers=*/0, /*populate_workers=*/3);
+}
+TEST(CrashMatrixTest, HSplitNonBlockingAbortParallelPopulate) {
+  RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort,
+               /*workers=*/0, /*populate_workers=*/3);
 }
 
 // --- engine-seam crashes ----------------------------------------------------

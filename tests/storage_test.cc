@@ -344,6 +344,129 @@ TEST(TableTest, ForEachIsActionConsistentUnderConcurrentWriter) {
   writer.join();
 }
 
+// --- Batch inserts and per-shard snapshots (population pipeline) ------------------
+
+TEST(TableBatchTest, InsertBatchGroupsAcrossShardsAndMaintainsIndexes) {
+  Table t(1, "t", TwoColSchema(), /*num_shards=*/4);
+  ASSERT_TRUE(t.CreateIndex("by_val", {"val"}).ok());
+  // Keys spread across all shards; a shared index value exercises the
+  // amortized index pass.
+  std::vector<Record> batch;
+  for (int64_t i = 0; i < 64; ++i) {
+    batch.push_back(Rec(i, i % 2 == 0 ? "even" : "odd", /*lsn=*/10 + i));
+  }
+  auto stats = t.InsertBatch(std::move(batch));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inserted, 64u);
+  EXPECT_EQ(stats->replaced, 0u);
+  EXPECT_EQ(stats->skipped, 0u);
+  EXPECT_EQ(t.size(), 64u);
+  for (int64_t i = 0; i < 64; ++i) {
+    auto rec = t.Get(Row({i}));
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->lsn, static_cast<Lsn>(10 + i));
+  }
+  SecondaryIndex* idx = t.GetIndex("by_val");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Count(Row({"even"})), 32u);
+  EXPECT_EQ(idx->Count(Row({"odd"})), 32u);
+}
+
+TEST(TableBatchTest, InsertBatchToleratesDuplicatesFirstWins) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Rec(1, "stored", 5)).ok());
+  // Key 1 duplicates a stored record, key 2 duplicates within the batch:
+  // the stored / first occurrence wins, exactly like an Insert loop that
+  // ignores AlreadyExists.
+  std::vector<Record> batch = {Rec(1, "late", 9), Rec(2, "first", 6),
+                               Rec(2, "second", 7), Rec(3, "fresh", 8)};
+  auto stats = t.InsertBatch(std::move(batch));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inserted, 2u);  // keys 2 and 3
+  EXPECT_EQ(stats->skipped, 2u);
+  EXPECT_EQ(t.Get(Row({1}))->row[1], Value("stored"));
+  EXPECT_EQ(t.Get(Row({2}))->row[1], Value("first"));
+  EXPECT_EQ(t.Get(Row({3}))->row[1], Value("fresh"));
+}
+
+TEST(TableBatchTest, UpsertBatchLsnGatedNewestWinsAndReindexes) {
+  Table t(1, "t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_val", {"val"}).ok());
+  ASSERT_TRUE(t.Insert(Rec(1, "old", 5)).ok());
+  ASSERT_TRUE(t.Insert(Rec(2, "keep", 9)).ok());
+  // Key 1: higher LSN replaces (and the index entry moves). Key 2: lower
+  // LSN loses. Key 3: within-batch duplicate — the higher-LSN occurrence
+  // wins regardless of order. Tie on key 2 at LSN 9 keeps the stored row.
+  std::vector<Record> batch = {Rec(1, "new", 8), Rec(2, "late", 4),
+                               Rec(3, "young", 3), Rec(3, "newest", 6),
+                               Rec(2, "tie", 9)};
+  auto stats = t.UpsertBatchLsnGated(std::move(batch));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inserted, 1u);  // key 3
+  EXPECT_EQ(stats->replaced, 1u);  // key 1
+  EXPECT_EQ(stats->skipped, 3u);   // key 2 twice + key 3's in-batch loser
+  EXPECT_EQ(t.Get(Row({1}))->row[1], Value("new"));
+  EXPECT_EQ(t.Get(Row({1}))->lsn, 8u);
+  EXPECT_EQ(t.Get(Row({2}))->row[1], Value("keep"));
+  EXPECT_EQ(t.Get(Row({3}))->row[1], Value("newest"));
+  SecondaryIndex* idx = t.GetIndex("by_val");
+  EXPECT_EQ(idx->Count(Row({"old"})), 0u);  // replaced image de-indexed
+  EXPECT_EQ(idx->Count(Row({"new"})), 1u);
+  EXPECT_EQ(idx->Count(Row({"newest"})), 1u);
+}
+
+TEST(TableSnapshotShardTest, ShardsAreDisjointAndCoverTable) {
+  Table t(1, "t", TwoColSchema(), /*num_shards=*/8);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.Insert(Rec(i, "v")).ok());
+  }
+  std::vector<Row> seen;
+  for (size_t sh = 0; sh < t.num_shards(); ++sh) {
+    for (const Record& rec : t.SnapshotShard(sh)) seen.push_back(rec.row);
+  }
+  // Every key exactly once across all shards: disjoint and covering.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen.size(), 200u);
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+  // Out-of-range shard index is an empty snapshot, not UB.
+  EXPECT_TRUE(t.SnapshotShard(t.num_shards()).empty());
+}
+
+TEST(TableSnapshotShardTest, RecordsAreNeverTorn) {
+  // The writer keeps both columns of an invariant in one record (counter ==
+  // lsn); a snapshot taken under the shard mutex can be stale but never
+  // torn, so the invariant must hold in every snapshotted record.
+  Table t(1, "t", TwoColSchema(), /*num_shards=*/4);
+  for (int64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(t.Insert(Rec(i, "v", /*lsn=*/0)).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t round = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int64_t i = 0; i < 32; ++i) {
+        ASSERT_TRUE(t.Mutate(Row({i}), [&](Record* rec) {
+                       rec->lsn = round;
+                       rec->counter = static_cast<int64_t>(round);
+                       return true;
+                     }).ok());
+      }
+      round++;
+    }
+  });
+  for (int pass = 0; pass < 300; ++pass) {
+    for (size_t sh = 0; sh < t.num_shards(); ++sh) {
+      for (const Record& rec : t.SnapshotShard(sh)) {
+        EXPECT_EQ(static_cast<uint64_t>(rec.counter), rec.lsn)
+            << "torn record: lsn and counter written together must be read "
+               "together";
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
 TEST(TableTest, CompositeKeys) {
   auto schema = *Schema::Make({{"a", ValueType::kInt64, false},
                                {"b", ValueType::kString, false},
