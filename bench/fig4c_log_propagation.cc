@@ -96,44 +96,84 @@ void WriteInterferenceJson(const char* path, bool quick, double peak_tps,
 }
 
 // Worker-count sweep: backlog-drain throughput of the propagation pipeline
-// at full duty, per pipeline width (0 = serial reader-applies path). Written
-// as JSON so a CI runner can archive the numbers next to the core count that
-// produced them — on a single-core host the parallel speedup cannot show,
-// which is exactly why the core count is part of the record.
-void RunWorkerSweep(double t_share, const char* json_path) {
+// at full duty, per pipeline width (0 = serial reader-applies path), per
+// handoff implementation (mutex-guarded queues vs. lock-free SPSC rings),
+// plus the `propagate_workers = auto` adaptive mode, which probes both
+// serial and parallel and exploits whichever wins — on a single-core host
+// that means collapsing to serial, so `auto` must track the serial row.
+// Written as JSON so a CI runner can archive the numbers next to the core
+// count that produced them — on a single-core host the parallel speedup
+// cannot show, which is exactly why the core count is part of the record.
+void RunWorkerSweep(double t_share, const char* json_path, bool quick) {
+  using morph::transform::PropagatorHandoff;
+  using morph::transform::TransformConfig;
   PrintHeader("log-propagation backlog drain vs. pipeline width, " +
               std::to_string(static_cast<int>(t_share * 100)) +
               "% updates on T");
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("hardware_concurrency: %u\n", cores);
-  std::printf("%-8s %16s %10s\n", "workers", "records_per_sec", "speedup");
+  std::printf("%-8s %-8s %16s %10s\n", "workers", "handoff", "records_per_sec",
+              "speedup");
 
-  struct Point {
-    size_t workers;
-    double records_per_sec;
+  struct Cell {
+    size_t workers;  // TransformConfig::kAutoWorkers encodes "auto"
+    PropagatorHandoff handoff;
+    const char* handoff_name;  // what the run reports: serial | mutex | ring
+    double records_per_sec = 0;
   };
-  std::vector<Point> points;
+  std::vector<Cell> cells;
+  // Serial baseline first (handoff-independent: no workers, no handoff).
+  cells.push_back({0, PropagatorHandoff::kRing, "serial"});
+  // Both handoffs at every width, ring second so the JSON reads
+  // mutex-then-ring per width.
+  const std::vector<size_t> widths =
+      quick ? std::vector<size_t>{2} : std::vector<size_t>{1, 2, 4, 8};
+  for (size_t workers : widths) {
+    cells.push_back({workers, PropagatorHandoff::kMutex, "mutex"});
+    cells.push_back({workers, PropagatorHandoff::kRing, "ring"});
+  }
+  // Adaptive auto mode (always the ring handoff underneath).
+  cells.push_back({TransformConfig::kAutoWorkers, PropagatorHandoff::kRing,
+                   "ring"});
+
+  // Median-of-3 in the full sweep: this host's drain rate drifts by tens of
+  // percent across seconds, and the mutex-vs-ring comparison is meaningless
+  // if one cell eats a drift spike the other didn't.
+  const int reps_per_cell = quick ? 1 : 3;
   double serial = 0;
-  for (size_t workers : {0ul, 1ul, 2ul, 4ul, 8ul}) {
+  for (Cell& cell : cells) {
     std::vector<double> reps;
-    for (int rep = 0; rep < 2; ++rep) {
-      reps.push_back(CalibratePropagationCapacity(t_share, workers));
+    for (int rep = 0; rep < reps_per_cell; ++rep) {
+      reps.push_back(
+          CalibratePropagationCapacity(t_share, cell.workers, cell.handoff));
     }
-    const double rate = MedianOf(reps);
-    if (workers == 0) serial = rate;
-    points.push_back({workers, rate});
-    std::printf("%-8zu %16.0f %10.2f\n", workers, rate,
-                serial > 0 ? rate / serial : 0.0);
+    cell.records_per_sec = MedianOf(reps);
+    if (cell.workers == 0) serial = cell.records_per_sec;
+    const bool is_auto = cell.workers == TransformConfig::kAutoWorkers;
+    char workers_label[16];
+    std::snprintf(workers_label, sizeof(workers_label), "%s",
+                  is_auto ? "auto" : std::to_string(cell.workers).c_str());
+    std::printf("%-8s %-8s %16.0f %10.2f\n", workers_label, cell.handoff_name,
+                cell.records_per_sec,
+                serial > 0 ? cell.records_per_sec / serial : 0.0);
   }
 
   if (std::FILE* f = std::fopen(json_path, "w")) {
     std::fprintf(f,
                  "{\n  \"bench\": \"fig4c_worker_sweep\",\n"
+                 "  \"quick\": %s,\n"
                  "  \"t_share\": %.2f,\n  \"cores\": %u,\n  \"results\": [",
-                 t_share, cores);
-    for (size_t i = 0; i < points.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"workers\": %zu, \"records_per_sec\": %.0f}",
-                   i ? "," : "", points[i].workers, points[i].records_per_sec);
+                 quick ? "true" : "false", t_share, cores);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& cell = cells[i];
+      if (cell.workers == TransformConfig::kAutoWorkers) {
+        std::fprintf(f, "%s\n    {\"workers\": \"auto\"", i ? "," : "");
+      } else {
+        std::fprintf(f, "%s\n    {\"workers\": %zu", i ? "," : "",
+                     cell.workers);
+      }
+      std::fprintf(f, ", \"handoff\": \"%s\", \"records_per_sec\": %.0f}",
+                   cell.handoff_name, cell.records_per_sec);
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -145,14 +185,21 @@ void RunWorkerSweep(double t_share, const char* json_path) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool workers_only = false;  // skip the interference sweep, run the
+                              // worker/handoff sweep only (regeneration aid)
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--quick") quick = true;
+    if (std::string_view(argv[i]) == "--workers-only") workers_only = true;
   }
   if (const char* env = std::getenv("MORPH_BENCH_QUICK");
       env && env[0] != '\0' && env[0] != '0') {
     quick = true;
   }
   if (quick) std::printf("quick mode: CI-smoke-sized sweep\n");
+  if (workers_only) {
+    RunWorkerSweep(/*t_share=*/0.8, "BENCH_fig4c_workers.json", quick);
+    return 0;
+  }
 
   const std::vector<double> t_shares = quick ? std::vector<double>{0.8}
                                              : std::vector<double>{0.2, 0.8};
@@ -212,6 +259,8 @@ int main(int argc, char** argv) {
   WriteInterferenceJson("BENCH_fig4_interference.json", quick, peak,
                         json_points);
 
-  if (!quick) RunWorkerSweep(/*t_share=*/0.8, "BENCH_fig4c_workers.json");
+  // Quick mode still runs a shrunken sweep (serial, one parallel width under
+  // both handoffs, auto) so CI smoke-validates the full output schema.
+  RunWorkerSweep(/*t_share=*/0.8, "BENCH_fig4c_workers.json", quick);
   return 0;
 }

@@ -111,16 +111,21 @@ inline InterferencePoint MeasurePopulationInterference(
 /// priority if many log records are generated").
 ///
 /// `workers` sizes the propagation pipeline (0 = serial reader-applies
-/// path); the worker sweep in fig4c reuses this drain measurement to report
-/// backlog-drain throughput per pipeline width.
-inline double CalibratePropagationCapacity(double t_share,
-                                           size_t workers = 0) {
+/// path, TransformConfig::kAutoWorkers = adaptive auto mode) and `handoff`
+/// picks the reader→worker mechanism; the worker sweep in fig4c reuses this
+/// drain measurement to report backlog-drain throughput per pipeline width
+/// and per handoff implementation.
+inline double CalibratePropagationCapacity(
+    double t_share, size_t workers = 0,
+    transform::PropagatorHandoff handoff =
+        transform::PropagatorHandoff::kRing) {
   SplitScenario scenario = SplitScenario::Make();
   Workload workload(scenario.WorkloadFor(t_share, 4, /*unpaced*/ 0));
 
   transform::TransformConfig config;
   config.priority = 1.0;
   config.propagate_workers = workers;
+  config.propagate_handoff = handoff;
   config.lag_iterations = 1'000'000;
   config.drop_sources = false;
   auto rules = scenario.MakeRules();

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace morph {
+
+/// \brief Bounded lock-free single-producer / single-consumer FIFO.
+///
+/// The building block of the propagator's lock-free handoff layer
+/// (transform/handoff.h): one ring per worker, the reader thread the only
+/// producer, the worker thread the only consumer. The design follows the
+/// `thread_coordination` idiom referenced by ROADMAP Open item 1:
+/// cache-line-aligned indices so the producer's and consumer's hot stores
+/// never false-share, plus batched push/pop so a whole scan block costs one
+/// release-store instead of one per record.
+///
+/// **Memory-order contract.** `head_` (consumer position) and `tail_`
+/// (producer position) are free-running 64-bit indices; slot = index &
+/// (capacity-1), capacity a power of two.
+///
+///  - The producer writes slots, *then* publishes them with a single
+///    `tail_.store(release)`. The consumer's `tail_.load(acquire)` therefore
+///    makes every published slot's contents visible before it reads them.
+///  - The consumer moves items out, *then* retires the slots with
+///    `head_.store(release)`. The producer's `head_.load(acquire)` therefore
+///    sees a slot as free only after the consumer is completely done with it.
+///
+/// Each side additionally keeps a *cached* copy of the other side's index
+/// (`cached_head_` / `cached_tail_`, on their own cache lines) and refreshes
+/// it from the shared atomic only when the cached value suggests the ring is
+/// full/empty — the common-case push and pop touch no shared cache line but
+/// their own index.
+///
+/// Ordering guarantee: items pop in exactly the order they were pushed
+/// (FIFO), which is what lets the handoff layer preserve per-worker LSN
+/// order without any locking.
+///
+/// T must be movable. Capacity is rounded up to a power of two.
+template <typename T>
+class SpscRingQueue {
+ public:
+  /// Destructive-interference (false-sharing) granularity. A fixed 64 —
+  /// correct for x86-64 and most aarch64 — rather than
+  /// std::hardware_destructive_interference_size, whose value varies with
+  /// compiler tuning flags and would make this header ABI-fragile (GCC
+  /// warns about exactly that).
+  static constexpr size_t kCacheLine = 64;
+
+  explicit SpscRingQueue(size_t min_capacity)
+      : capacity_(RoundUpPow2(min_capacity < 1 ? 1 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  SpscRingQueue(const SpscRingQueue&) = delete;
+  SpscRingQueue& operator=(const SpscRingQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer only. Returns false when full.
+  bool TryPush(T item) { return TryPushN(&item, 1) == 1; }
+
+  /// Producer only: moves `items[0 .. r)` into the ring, where `r` (the
+  /// return value) is min(n, free slots). One release-store publishes the
+  /// whole prefix. Items beyond the returned count are untouched.
+  size_t TryPushN(T* items, size_t n) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    size_t free = capacity_ - static_cast<size_t>(tail - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - static_cast<size_t>(tail - cached_head_);
+    }
+    const size_t take = n < free ? n : free;
+    for (size_t i = 0; i < take; ++i) {
+      slots_[static_cast<size_t>(tail + i) & mask_] = std::move(items[i]);
+    }
+    if (take != 0) tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Consumer only. Returns false when empty.
+  bool TryPop(T* out) { return TryPopN(out, 1) == 1; }
+
+  /// Consumer only: moves up to `max` items into `out[0 .. r)`, returns `r`.
+  /// One release-store retires the whole batch of slots.
+  size_t TryPopN(T* out, size_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    size_t avail = static_cast<size_t>(cached_tail_ - head);
+    if (avail < max) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<size_t>(cached_tail_ - head);
+      if (avail == 0) return 0;
+    }
+    const size_t take = max < avail ? max : avail;
+    for (size_t i = 0; i < take; ++i) {
+      out[i] = std::move(slots_[static_cast<size_t>(head + i) & mask_]);
+    }
+    head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Any thread: an instantaneous (possibly stale) occupancy estimate, for
+  /// diagnostics only — never for synchronization decisions.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  /// Consumer-accurate emptiness (exact when called by the consumer; an
+  /// estimate from any other thread).
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  /// Consumer position: slots below head are free. Written by the consumer.
+  alignas(kCacheLine) std::atomic<uint64_t> head_{0};
+  /// Producer's cached view of head_ (producer-thread private).
+  alignas(kCacheLine) uint64_t cached_head_ = 0;
+  /// Producer position: slots below tail are published. Written by producer.
+  alignas(kCacheLine) std::atomic<uint64_t> tail_{0};
+  /// Consumer's cached view of tail_ (consumer-thread private).
+  alignas(kCacheLine) uint64_t cached_tail_ = 0;
+};
+
+}  // namespace morph

@@ -1,0 +1,96 @@
+#include "transform/adaptive.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace morph::transform {
+
+AdaptiveController::AdaptiveController(Options options)
+    : options_(options), mode_(std::max<size_t>(1, options.parallel_workers)) {
+  MORPH_GAUGE_SET("transform.adaptive.workers",
+                  static_cast<int64_t>(mode_.load()));
+}
+
+void AdaptiveController::SwitchMode(size_t workers) {
+  const size_t prev = mode_.load(std::memory_order_relaxed);
+  if (prev == workers) return;
+  if (prev > 0 && workers == 0) {
+    collapses_.fetch_add(1, std::memory_order_relaxed);
+    MORPH_COUNTER_INC("transform.adaptive.collapses");
+  } else if (prev == 0 && workers > 0) {
+    expansions_.fetch_add(1, std::memory_order_relaxed);
+    MORPH_COUNTER_INC("transform.adaptive.expansions");
+  }
+  mode_.store(workers, std::memory_order_relaxed);
+  MORPH_GAUGE_SET("transform.adaptive.workers", static_cast<int64_t>(workers));
+}
+
+double AdaptiveController::WindowRate() const {
+  const auto nanos = static_cast<double>(std::max<int64_t>(1, window_nanos_));
+  return static_cast<double>(window_records_) * 1e9 / nanos;
+}
+
+void AdaptiveController::ResetWindow() {
+  window_records_ = 0;
+  window_nanos_ = 0;
+}
+
+void AdaptiveController::OnBatch(size_t records, int64_t work_nanos) {
+  if (records == 0) return;  // empty batches carry no signal
+  window_records_ += records;
+  window_nanos_ += std::max<int64_t>(0, work_nanos);
+
+  const size_t parallel = std::max<size_t>(1, options_.parallel_workers);
+  switch (phase_) {
+    case Phase::kProbeParallel:
+      if (window_records_ < options_.probe_records) return;
+      parallel_rate_ = WindowRate();
+      probe_windows_.fetch_add(1, std::memory_order_relaxed);
+      MORPH_COUNTER_INC("transform.adaptive.probe_windows");
+      ResetWindow();
+      phase_ = Phase::kProbeSerial;
+      SwitchMode(0);
+      return;
+    case Phase::kProbeSerial: {
+      if (window_records_ < options_.probe_records) return;
+      const double serial_rate = WindowRate();
+      probe_windows_.fetch_add(1, std::memory_order_relaxed);
+      MORPH_COUNTER_INC("transform.adaptive.probe_windows");
+      ResetWindow();
+      // Serial wins ties: parallelism must pay for its coordination.
+      const bool parallel_wins =
+          parallel_rate_ > serial_rate * options_.switch_margin;
+      incumbent_ = parallel_wins ? parallel : 0;
+      incumbent_rate_ = parallel_wins ? parallel_rate_ : serial_rate;
+      phase_ = Phase::kExploit;
+      SwitchMode(incumbent_);
+      return;
+    }
+    case Phase::kExploit:
+      if (window_records_ < options_.exploit_records) return;
+      // Refresh the incumbent's rate from the full exploit window — the
+      // challenger is judged against current conditions, not a stale probe.
+      incumbent_rate_ = WindowRate();
+      ResetWindow();
+      phase_ = Phase::kProbeChallenger;
+      SwitchMode(incumbent_ == 0 ? parallel : 0);
+      return;
+    case Phase::kProbeChallenger: {
+      if (window_records_ < options_.probe_records) return;
+      const double challenger_rate = WindowRate();
+      probe_windows_.fetch_add(1, std::memory_order_relaxed);
+      MORPH_COUNTER_INC("transform.adaptive.probe_windows");
+      ResetWindow();
+      if (challenger_rate > incumbent_rate_ * options_.switch_margin) {
+        incumbent_ = incumbent_ == 0 ? parallel : 0;
+        incumbent_rate_ = challenger_rate;
+      }
+      phase_ = Phase::kExploit;
+      SwitchMode(incumbent_);
+      return;
+    }
+  }
+}
+
+}  // namespace morph::transform

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace morph::transform {
+
+/// \brief Decides, batch by batch, whether the log propagator should run
+/// parallel (N workers) or serial (N = 0) — the `propagate_workers = auto`
+/// policy.
+///
+/// Motivation (ROADMAP Open item 1): on few-core hosts the coordination
+/// cost of the parallel pipeline can exceed its benefit — the fig4c sweep
+/// on cores=1 had serial at ~595k rec/s against ~448k for the best parallel
+/// configuration. Instead of asking the operator to guess, the controller
+/// measures both modes on the live workload and keeps whichever is faster,
+/// so auto is never slower than serial by more than the (bounded, few
+/// percent) probing overhead.
+///
+/// **Protocol.** The propagator reports every batch via OnBatch(records,
+/// work_nanos) — the same reader-side work slice the priority controller
+/// meters, mirroring the `transform.propagate.records` counter — and asks
+/// current_workers() before starting the next batch; mode therefore only
+/// changes at batch boundaries, where the propagator can drain workers
+/// before collapsing to serial.
+///
+///  - *Probe*: run ~probe_records in parallel, then ~probe_records serial,
+///    and exploit the faster mode (serial wins ties — the margin biases
+///    toward the mode with no coordination cost).
+///  - *Exploit*: run ~exploit_records in the incumbent mode, refreshing its
+///    measured rate, then re-probe the *other* mode. The challenger must
+///    beat the incumbent's fresh rate by `switch_margin` to take over —
+///    hysteresis against flapping on noise.
+///
+/// With the defaults the loser runs probe/(probe+exploit) ≈ 3% of records,
+/// so even a 2× slower loser costs ~1.5% of throughput — the price of
+/// noticing when a phase change (more cores freed up, workload skew)
+/// flips the winner.
+///
+/// Thread safety: OnBatch is reader-thread only; current_workers() and the
+/// counters are safe from any thread.
+class AdaptiveController {
+ public:
+  struct Options {
+    /// Worker count the parallel mode runs with.
+    size_t parallel_workers = 2;
+    /// Records per probe window (per mode).
+    size_t probe_records = 2048;
+    /// Records per exploit window between re-probes.
+    size_t exploit_records = 65536;
+    /// Challenger must exceed incumbent rate by this factor to switch.
+    double switch_margin = 1.05;
+  };
+
+  explicit AdaptiveController(Options options);
+
+  /// Workers the next batch should run with: 0 or parallel_workers.
+  size_t current_workers() const {
+    return mode_.load(std::memory_order_relaxed);
+  }
+
+  /// Reader thread, once per completed batch. `work_nanos` is the reader's
+  /// scan+dispatch slice for the batch.
+  void OnBatch(size_t records, int64_t work_nanos);
+
+  /// Completed measurement windows (both initial probes and re-probes).
+  size_t probe_windows() const {
+    return probe_windows_.load(std::memory_order_relaxed);
+  }
+  /// Decisions that switched parallel → serial.
+  size_t collapses() const {
+    return collapses_.load(std::memory_order_relaxed);
+  }
+  /// Decisions that switched serial → parallel.
+  size_t expansions() const {
+    return expansions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Phase {
+    kProbeParallel,   ///< initial probe, parallel leg
+    kProbeSerial,     ///< initial probe, serial leg
+    kExploit,         ///< running the incumbent
+    kProbeChallenger  ///< re-probing the non-incumbent mode
+  };
+
+  void SwitchMode(size_t workers);
+  double WindowRate() const;
+  void ResetWindow();
+
+  const Options options_;
+
+  /// 0 or parallel_workers; what current_workers() reports.
+  std::atomic<size_t> mode_;
+
+  // Reader-thread state.
+  Phase phase_ = Phase::kProbeParallel;
+  size_t window_records_ = 0;
+  int64_t window_nanos_ = 0;
+  double parallel_rate_ = 0.0;   ///< initial-probe parallel measurement
+  double incumbent_rate_ = 0.0;  ///< freshest rate of the exploited mode
+  size_t incumbent_ = 0;         ///< exploited mode (workers), valid post-probe
+
+  std::atomic<size_t> probe_windows_{0};
+  std::atomic<size_t> collapses_{0};
+  std::atomic<size_t> expansions_{0};
+};
+
+}  // namespace morph::transform

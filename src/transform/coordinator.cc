@@ -32,7 +32,18 @@ TransformCoordinator::TransformCoordinator(engine::Database* db,
       priority_(config.priority),
       tlocks_(config.target_lock_wait_micros) {
   PropagatorConfig pc;
-  pc.workers = config_.propagate_workers;
+  if (config_.propagate_workers == TransformConfig::kAutoWorkers) {
+    // Adaptive (`auto`): the parallel mode's width comes from the host —
+    // leave one core for the reader, keep the fan-out modest — and the
+    // controller decides batch-by-batch whether running it beats serial.
+    const size_t hw = std::thread::hardware_concurrency();
+    pc.workers = std::clamp<size_t>(hw > 1 ? hw - 1 : 2, 2, 8);
+    pc.adaptive = true;
+    pc.handoff = PropagatorHandoff::kRing;
+  } else {
+    pc.workers = config_.propagate_workers;
+    pc.handoff = config_.propagate_handoff;
+  }
   pc.batch_size = config_.batch_size;
   pc.queue_capacity = config_.propagate_queue_capacity
                           ? config_.propagate_queue_capacity
@@ -89,7 +100,17 @@ void TransformCoordinator::FillPropagationStats(TransformStats* stats) const {
   // workers before returning on all paths, so nothing here depends on
   // join-before-snapshot ordering.
   stats->ops_propagated = propagator_->ops_applied();
-  stats->propagate_workers = config_.propagate_workers;
+  stats->propagate_workers = propagator_->num_workers();
+  stats->propagate_handoff =
+      propagator_->num_workers() == 0
+          ? "serial"
+          : (propagator_->handoff_kind() == PropagatorHandoff::kRing ? "ring"
+                                                                     : "mutex");
+  if (const AdaptiveController* ac = propagator_->adaptive()) {
+    stats->adaptive_probe_windows = ac->probe_windows();
+    stats->adaptive_collapses = ac->collapses();
+    stats->adaptive_expansions = ac->expansions();
+  }
   stats->worker_ops.clear();
   for (const PropagatorWorkerStats& ws : propagator_->worker_stats()) {
     stats->worker_ops.push_back(ws.ops_applied);

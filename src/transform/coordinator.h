@@ -87,13 +87,24 @@ struct TransformConfig {
   bool continuous = false;
   /// How long a post-switch transaction waits for a mirrored source lock.
   int64_t target_lock_wait_micros = 2'000'000;
+  /// Sentinel for propagate_workers: adaptive worker scaling. The
+  /// propagator measures serial vs parallel records/sec on the live
+  /// workload and runs whichever wins, re-probing periodically
+  /// (transform/adaptive.h) — never slower than serial beyond a few
+  /// percent of probing, which is the safe default on unknown hosts.
+  static constexpr size_t kAutoWorkers = static_cast<size_t>(-1);
   /// Parallel log-propagation workers (see transform/propagator.h). 0 =
   /// serial: the same pipeline code runs with one inline worker on the
   /// coordinator thread. Ops are partitioned across workers by the
   /// operator's RoutingKey, so any value preserves per-record LSN order.
+  /// kAutoWorkers = adaptive (see above).
   size_t propagate_workers = 0;
   /// Bounded per-worker queue capacity, in records. 0 = 2 * batch_size.
   size_t propagate_queue_capacity = 0;
+  /// Reader→worker handoff mechanism: lock-free SPSC rings (the default)
+  /// or the original mutex-guarded deques (kept as the differential-test
+  /// reference and bench baseline).
+  PropagatorHandoff propagate_handoff = PropagatorHandoff::kRing;
   /// Parallel initial-population workers (see transform/populate.h). 0 =
   /// serial: the same pipeline code runs inline on the coordinator thread.
   /// Scan work is partitioned by storage shard and operator build state by
@@ -140,11 +151,20 @@ struct TransformStats {
   /// `transform.priority.achieved_ppm` gauge.
   double achieved_duty = 1.0;
 
-  /// Parallel-propagation shape: configured worker count and per-worker ops
-  /// applied (entry 0 is the reader's inline worker — all ops when serial,
-  /// barrier ops when parallel — followed by one entry per queue worker).
+  /// Parallel-propagation shape: *resolved* worker count (what the pipeline
+  /// actually spawned — equals the configured value for fixed configs, the
+  /// chosen parallel width for kAutoWorkers) and per-worker ops applied
+  /// (entry 0 is the reader's inline worker — all ops when serial, barrier
+  /// ops when parallel — followed by one entry per queue worker).
   size_t propagate_workers = 0;
   std::vector<size_t> worker_ops;
+  /// Handoff mechanism the run used: "serial", "mutex" or "ring".
+  std::string propagate_handoff;
+  /// Adaptive mode (propagate_workers = kAutoWorkers): probe windows
+  /// completed and parallel→serial / serial→parallel switches decided.
+  size_t adaptive_probe_windows = 0;
+  size_t adaptive_collapses = 0;
+  size_t adaptive_expansions = 0;
   /// Log records processed per second of wall-clock propagation time.
   double propagate_records_per_sec = 0.0;
 };

@@ -1,0 +1,268 @@
+#include "transform/handoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace morph::transform {
+
+namespace {
+constexpr Lsn kLsnMax = std::numeric_limits<Lsn>::max();
+/// Yields between full-ring retries before the reader starts sleeping; the
+/// sleep keeps a stalled reader from starving its own workers on few cores.
+constexpr size_t kStallYieldsBeforeSleep = 256;
+constexpr auto kStallSleep = std::chrono::microseconds(50);
+/// Bound on a parked worker's wait. The wake protocol (parked-flag store +
+/// seq_cst fence vs. push + fence in WakeIfParked, notify under park_mu)
+/// makes a missed notify impossible, so this is pure insurance — and it must
+/// be generous: a short timeout turns every idle worker into a periodic
+/// context-switch source, which on few-core hosts steals enough CPU from the
+/// reader and foreground load to be measurable.
+constexpr auto kParkTimeout = std::chrono::milliseconds(250);
+}  // namespace
+
+WorkerHandoff::WorkerHandoff(HandoffOptions options, ApplyFn apply,
+                             FailureFn on_failure, ExceptionFn on_exception,
+                             const std::atomic<bool>* failed)
+    : options_(options),
+      apply_(std::move(apply)),
+      on_failure_(std::move(on_failure)),
+      on_exception_(std::move(on_exception)),
+      failed_(failed) {
+  const size_t n = std::max<size_t>(1, options_.workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>(options_.ring_capacity));
+  }
+  // Spawn only after the vector is fully built: a worker must never observe
+  // workers_ resize under it.
+  for (auto& w : workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+}
+
+WorkerHandoff::~WorkerHandoff() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    std::lock_guard lock(w->park_mu);
+    w->park_cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void WorkerHandoff::Stage(size_t worker, HandoffItem item) {
+  workers_[worker]->staged.push_back(std::move(item));
+  ++staged_total_;
+}
+
+void WorkerHandoff::DiscardStaged() {
+  for (auto& w : workers_) w->staged.clear();
+  staged_total_ = 0;
+}
+
+void WorkerHandoff::WakeIfParked(Worker* w) {
+  // Orders this side's ring publication (tail release-store) before the
+  // parked-flag load, against the worker's parked-store → ring-check
+  // sequence. Without it both sides could read stale values and the push
+  // would wait out the park timeout.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (w->parked.load(std::memory_order_relaxed)) {
+    std::lock_guard lock(w->park_mu);
+    w->park_cv.notify_one();
+  }
+}
+
+Status WorkerHandoff::FlushStaged() {
+  if (staged_total_ == 0) return Status::OK();
+  if (failed_->load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    // Drain-and-discard: the failure surfaces via the propagator's
+    // TakeFailure; pushing more work would only delay the drain.
+    DiscardStaged();
+    return Status::OK();
+  }
+  // Reader-thread failpoint, evaluated only when records are actually being
+  // handed off. A crash action throws out of here (unwound and caught at
+  // the Database boundary like every reader-side site); an error action
+  // fails the flush and the staged records are discarded.
+  if (Failpoints::armed()) {
+    const Status st = Failpoints::Instance().Evaluate("transform.handoff.push");
+    if (!st.ok()) {
+      DiscardStaged();
+      return st;
+    }
+  }
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    if (w.staged.empty()) continue;
+    HandoffItem* items = w.staged.data();
+    size_t left = w.staged.size();
+    bool stalled = false;
+    Clock::TimePoint stall_start{};
+    size_t yields = 0;
+    while (left > 0) {
+      const size_t n = w.ring.TryPushN(items, left);
+      if (n > 0) {
+        items += n;
+        left -= n;
+        // Publish the count *before* the propagator can advance next_lsn
+        // past these records — the floor scheme's reader-side obligation.
+        w.pushed.store(w.pushed.load(std::memory_order_relaxed) + n,
+                       std::memory_order_release);
+        WakeIfParked(&w);
+        continue;
+      }
+      if (failed_->load(std::memory_order_acquire) ||
+          stop_.load(std::memory_order_acquire)) {
+        left = 0;  // drain-and-discard the remainder
+        break;
+      }
+      if (!stalled) {
+        // Backpressure: the reader is outpacing this worker. Same
+        // accounting as the mutex path, so a mistuned ring capacity or a
+        // skewed partition is visible in the metrics.
+        stalled = true;
+        stall_start = Clock::Now();
+        MORPH_COUNTER_INC("transform.propagate.backpressure_stalls");
+        // a = op LSN the reader is trying to hand off, b = worker index.
+        MORPH_TRACE("transform.propagate.stall",
+                    static_cast<int64_t>(items->op.lsn),
+                    static_cast<int64_t>(&wp - workers_.data()));
+      }
+      if (++yields >= kStallYieldsBeforeSleep) {
+        yields = 0;
+        std::this_thread::sleep_for(kStallSleep);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    if (stalled) {
+      MORPH_HISTOGRAM_NANOS("transform.propagate.stall_nanos",
+                            Clock::NanosSince(stall_start));
+    }
+    const size_t depth = w.ring.SizeApprox();
+    if (depth > w.max_queue_depth.load(std::memory_order_relaxed)) {
+      w.max_queue_depth.store(depth, std::memory_order_relaxed);
+    }
+    w.staged.clear();
+  }
+  staged_total_ = 0;
+  return Status::OK();
+}
+
+Status WorkerHandoff::JoinPhase() {
+  const Status flush = FlushStaged();
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    size_t yields = 0;
+    // `pushed` is exact here (this thread is the only writer); workers
+    // always advance `applied` — even while discarding — so this
+    // terminates.
+    while (w.applied.load(std::memory_order_acquire) <
+           w.pushed.load(std::memory_order_relaxed)) {
+      if (++yields >= kStallYieldsBeforeSleep) {
+        yields = 0;
+        WakeIfParked(&w);  // belt-and-suspenders against a missed notify
+        std::this_thread::sleep_for(kStallSleep);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  return flush;
+}
+
+Lsn WorkerHandoff::FloorLsn() const {
+  Lsn floor = kLsnMax;
+  for (const auto& w : workers_) {
+    const uint64_t pushed = w->pushed.load(std::memory_order_acquire);
+    const uint64_t applied = w->applied.load(std::memory_order_acquire);
+    if (applied >= pushed) continue;  // idle (conservative: see handoff.h)
+    const Lsn upto = w->applied_upto.load(std::memory_order_acquire);
+    floor = std::min(floor, upto + 1);
+  }
+  return floor;
+}
+
+std::vector<HandoffWorkerStats> WorkerHandoff::worker_stats() const {
+  std::vector<HandoffWorkerStats> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    out.push_back({static_cast<size_t>(
+                       w->ops_applied.load(std::memory_order_relaxed)),
+                   static_cast<size_t>(
+                       w->max_queue_depth.load(std::memory_order_relaxed))});
+  }
+  return out;
+}
+
+void WorkerHandoff::WorkerLoop(Worker* w) {
+  std::vector<HandoffItem> batch(std::max<size_t>(1, options_.pop_batch));
+  size_t idle_polls = 0;
+  // Spin-before-park only pays off while the pipeline is hot (the reader is
+  // mid-batch and more work is microseconds away). A cold worker — just
+  // spawned, or drained and parked since — must park immediately: its spin
+  // yields are pure scheduler churn that, on few-core hosts, visibly slows
+  // the reader and the foreground load.
+  bool hot = false;
+  for (;;) {
+    const size_t n = w->ring.TryPopN(batch.data(), batch.size());
+    if (n == 0) {
+      // TryPopN refreshed its tail cache: the ring is consumer-exact empty.
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (hot && ++idle_polls < options_.spin_polls) {
+        std::this_thread::yield();
+        continue;
+      }
+      idle_polls = 0;
+      hot = false;
+      std::unique_lock lock(w->park_mu);
+      w->parked.store(true, std::memory_order_relaxed);
+      // Pairs with the fence in WakeIfParked: order the parked-store before
+      // the ring re-check, so either we see the push or the reader sees the
+      // flag.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (w->ring.Empty() && !stop_.load(std::memory_order_acquire)) {
+        w->park_cv.wait_for(lock, kParkTimeout);
+      }
+      w->parked.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    idle_polls = 0;
+    hot = true;
+    for (size_t i = 0; i < n; ++i) {
+      HandoffItem& item = batch[i];
+      bool ok = false;
+      if (!failed_->load(std::memory_order_acquire)) {
+        try {
+          const Status st = apply_(item);
+          if (st.ok()) {
+            ok = true;
+          } else {
+            on_failure_(st);
+          }
+        } catch (...) {
+          on_exception_(std::current_exception());
+        }
+      }
+      if (ok) w->ops_applied.fetch_add(1, std::memory_order_relaxed);
+      // Publish progress per record (upto before applied): the floor and
+      // the deferred-release flush advance batch-to-batch instead of only
+      // at joins. Discarded records advance too — exactly like the mutex
+      // path's floor — so joins terminate and truncation stays monotone
+      // during an abort.
+      w->applied_upto.store(item.op.lsn, std::memory_order_release);
+      w->applied.fetch_add(1, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace morph::transform

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ring_queue.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "transform/op.h"
+#include "txn/transform_locks.h"
+
+namespace morph::transform {
+
+/// One routed unit of work: a normalized source-table op plus the lock
+/// origin its mirrored locks are tagged with.
+struct HandoffItem {
+  Op op;
+  txn::LockOrigin origin;
+};
+
+/// Per-worker diagnostics (mirrors PropagatorWorkerStats without the
+/// circular include).
+struct HandoffWorkerStats {
+  size_t ops_applied = 0;
+  size_t max_queue_depth = 0;
+};
+
+struct HandoffOptions {
+  /// Number of apply worker threads (≥ 1).
+  size_t workers = 2;
+  /// Per-worker SPSC ring capacity, in records (rounded up to a power of
+  /// two by the ring).
+  size_t ring_capacity = 1024;
+  /// Max records a worker moves out of its ring per pop (one release-store
+  /// retires the whole batch).
+  size_t pop_batch = 128;
+  /// Empty polls a worker spins (yielding) before parking on its condvar.
+  /// Kept short: on a saturated 1-core host a spinning worker steals the
+  /// reader's timeslice.
+  size_t spin_polls = 64;
+};
+
+/// \brief The lock-free reader→worker handoff layer of the log propagator
+/// (ROADMAP Open item 1): one cache-line-aligned SPSC ring per worker
+/// (common/ring_queue.h), a reader-side staging buffer per worker so a whole
+/// scan block is published with *one* release-store per worker, and
+/// counter-based phase joins instead of per-queue mutex drains.
+///
+/// **Roles.** Exactly one reader thread calls Stage / FlushStaged /
+/// JoinPhase; each worker thread consumes exactly one ring. FloorLsn() and
+/// worker_stats() are safe from any thread.
+///
+/// **Floor scheme.** The mutex path tracked "oldest queued or in-flight
+/// LSN" under the queue lock; with no lock, each worker instead publishes
+/// two monotone counters and a monotone LSN:
+///
+///  - `pushed`    — records handed to this worker (written by the reader,
+///                  release, *before* the propagator advances next_lsn);
+///  - `applied`   — records the worker has finished with (release);
+///  - `applied_upto` — the highest LSN fully landed (release, stored before
+///                  `applied` is bumped).
+///
+/// A worker's floor is `applied_upto + 1` while `applied < pushed`, else
+/// LSN-max. Per-worker LSNs are monotone (the reader stages in scan order,
+/// the ring is FIFO), so "applied_upto = X" implies everything ≤ X landed —
+/// a stale read only lowers the floor, never raises it past an in-flight
+/// op. A third thread could read a stale-low `pushed` and conclude idle,
+/// but TransformCoordinator::propagated_lsn() loads next_lsn *before* the
+/// floor, and every push below next_lsn happens-before the next_lsn
+/// advance, so the min(next_lsn, floor) watermark that gates
+/// Wal::TruncateBefore stays conservative — the same argument the mutex
+/// path relied on.
+///
+/// **Failure funnel.** Apply outcomes are routed through the propagator's
+/// callbacks (RecordFailure / RecordException); once the shared `failed`
+/// flag is up, workers drain-and-discard (counters keep moving so joins
+/// terminate) and FlushStaged discards instead of pushing. Exceptions never
+/// cross a thread boundary: workers funnel them, the reader rethrows via
+/// the propagator's TakeFailure.
+///
+/// Failpoint: `transform.handoff.push` fires in FlushStaged, on the reader
+/// thread, only when records are actually being handed off — the lock-free
+/// analogue of the mutex path's reader-side sites for the crash matrix.
+class WorkerHandoff {
+ public:
+  using ApplyFn = std::function<Status(const HandoffItem&)>;
+  using FailureFn = std::function<void(const Status&)>;
+  using ExceptionFn = std::function<void(std::exception_ptr)>;
+
+  /// `failed` is the propagator's shared drain-and-discard flag; it must
+  /// outlive this object. Workers start immediately.
+  WorkerHandoff(HandoffOptions options, ApplyFn apply, FailureFn on_failure,
+                ExceptionFn on_exception, const std::atomic<bool>* failed);
+  ~WorkerHandoff();
+
+  WorkerHandoff(const WorkerHandoff&) = delete;
+  WorkerHandoff& operator=(const WorkerHandoff&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Reader only: buffers `item` for `worker` (no publication yet).
+  void Stage(size_t worker, HandoffItem item);
+
+  /// Reader only: publishes every staged run to its worker's ring — one
+  /// release-store per worker per call — waking parked workers. Spins with
+  /// backpressure accounting when a ring is full. Returns the injected
+  /// status of the `transform.handoff.push` failpoint, if armed (staged
+  /// items are then discarded, drain-and-discard style). No-op when nothing
+  /// is staged.
+  Status FlushStaged();
+
+  /// Reader only: FlushStaged, then waits until every worker has consumed
+  /// everything pushed to it (applied == pushed). This is the barrier ops
+  /// and end-of-range use; it terminates even in failed mode because
+  /// discarded records still advance `applied`.
+  Status JoinPhase();
+
+  /// Any thread: min over busy workers of (highest fully-applied LSN + 1);
+  /// LSN-max when all workers are idle. See the floor scheme above.
+  Lsn FloorLsn() const;
+
+  /// Any thread: per-worker diagnostics snapshot (relaxed atomics).
+  std::vector<HandoffWorkerStats> worker_stats() const;
+
+ private:
+  struct Worker {
+    explicit Worker(size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRingQueue<HandoffItem> ring;
+
+    /// Reader-side staging buffer (reader-thread private).
+    std::vector<HandoffItem> staged;
+
+    /// Floor/join counters — see the class comment for the protocol.
+    alignas(SpscRingQueue<HandoffItem>::kCacheLine)
+        std::atomic<uint64_t> pushed{0};
+    alignas(SpscRingQueue<HandoffItem>::kCacheLine)
+        std::atomic<uint64_t> applied{0};
+    std::atomic<Lsn> applied_upto{kInvalidLsn};
+
+    /// Diagnostics (relaxed). ops_applied counts *successful* applies;
+    /// max_queue_depth is a reader-side post-flush ring occupancy high-water
+    /// mark.
+    std::atomic<uint64_t> ops_applied{0};
+    std::atomic<uint64_t> max_queue_depth{0};
+
+    /// Parking: a worker that found its ring empty after spin_polls yields
+    /// sets `parked` and waits (bounded) on the condvar; the reader
+    /// notifies only when it observes `parked`, so the common case pushes
+    /// without touching the mutex. A seq_cst fence on both sides orders the
+    /// parked-store/ring-check against the push/parked-check (the classic
+    /// flag-vs-data store-load race); the bounded wait caps any residual
+    /// window at one timeout.
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<bool> parked{false};
+
+    std::thread thread;
+  };
+
+  void WorkerLoop(Worker* w);
+  void WakeIfParked(Worker* w);
+  void DiscardStaged();
+
+  const HandoffOptions options_;
+  const ApplyFn apply_;
+  const FailureFn on_failure_;
+  const ExceptionFn on_exception_;
+  const std::atomic<bool>* failed_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  /// Total records currently staged across workers (reader-thread private;
+  /// lets FlushStaged no-op without touching per-worker buffers).
+  size_t staged_total_ = 0;
+};
+
+}  // namespace morph::transform

@@ -24,15 +24,35 @@ LogPropagator::LogPropagator(wal::Wal* wal, OperatorRules* rules,
       tlocks_(tlocks),
       priority_(priority),
       config_(config) {
-  workers_.reserve(config_.workers);
-  for (size_t i = 0; i < config_.workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>());
-  }
-  // Spawn after the vector is fully built: a worker thread must never see
-  // workers_ resize under it.
-  for (auto& w : workers_) {
-    Worker* raw = w.get();
-    raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  if (config_.workers > 0) {
+    if (config_.handoff == PropagatorHandoff::kRing) {
+      HandoffOptions opts;
+      opts.workers = config_.workers;
+      opts.ring_capacity = config_.queue_capacity;
+      handoff_ = std::make_unique<WorkerHandoff>(
+          opts, [this](const HandoffItem& item) {
+            return ApplyOp(item.op, item.origin);
+          },
+          [this](const Status& st) { RecordFailure(st); },
+          [this](std::exception_ptr e) { RecordException(std::move(e)); },
+          &failed_);
+    } else {
+      workers_.reserve(config_.workers);
+      for (size_t i = 0; i < config_.workers; ++i) {
+        workers_.push_back(std::make_unique<Worker>());
+      }
+      // Spawn after the vector is fully built: a worker thread must never
+      // see workers_ resize under it.
+      for (auto& w : workers_) {
+        Worker* raw = w.get();
+        raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+      }
+    }
+    if (config_.adaptive) {
+      AdaptiveController::Options aopts = config_.adaptive_options;
+      aopts.parallel_workers = num_workers();
+      adaptive_ = std::make_unique<AdaptiveController>(aopts);
+    }
   }
 }
 
@@ -46,6 +66,7 @@ LogPropagator::~LogPropagator() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  // handoff_ (if any) stops and joins its own workers in its destructor.
 }
 
 void LogPropagator::SetSources(const std::vector<TableId>& source_ids) {
@@ -54,6 +75,7 @@ void LogPropagator::SetSources(const std::vector<TableId>& source_ids) {
 }
 
 Lsn LogPropagator::FloorLsn() const {
+  if (handoff_) return handoff_->FloorLsn();
   Lsn floor = kLsnMax;
   for (const auto& w : workers_) {
     floor = std::min(floor, w->floor.load(std::memory_order_acquire));
@@ -63,9 +85,15 @@ Lsn LogPropagator::FloorLsn() const {
 
 std::vector<PropagatorWorkerStats> LogPropagator::worker_stats() const {
   std::vector<PropagatorWorkerStats> out;
-  out.reserve(workers_.size() + 1);
+  out.reserve(num_workers() + 1);
   out.push_back(
       {inline_ops_applied_.load(std::memory_order_relaxed), /*depth=*/0});
+  if (handoff_) {
+    for (const HandoffWorkerStats& s : handoff_->worker_stats()) {
+      out.push_back({s.ops_applied, s.max_queue_depth});
+    }
+    return out;
+  }
   for (const auto& w : workers_) {
     out.push_back({w->ops_applied.load(std::memory_order_relaxed),
                    w->max_queue_depth.load(std::memory_order_relaxed)});
@@ -97,7 +125,8 @@ void LogPropagator::RecordFailure(const Status& st) {
     if (first_error_.ok()) first_error_ = st;
   }
   failed_.store(true, std::memory_order_release);
-  // A reader blocked on a full queue must re-check the failed_ flag.
+  // A reader blocked on a full mutex queue must re-check the failed_ flag
+  // (the ring path's full-ring spin polls it directly).
   for (auto& w : workers_) {
     std::unique_lock lock(w->mu);
     w->cv_space.notify_all();
@@ -121,7 +150,13 @@ Status LogPropagator::TakeFailure() {
   // Workers are in drain-and-discard mode; wait until nothing is in flight,
   // then surface the failure on this (the coordinator) thread — exceptions
   // (CrashException from a crash failpoint) must not escape a std::thread.
-  WaitDrained();
+  // With failed_ set the ring flush inside discards instead of pushing, so
+  // no failpoint re-fires here.
+  if (handoff_) {
+    (void)handoff_->JoinPhase();
+  } else {
+    WaitDrained();
+  }
   std::unique_lock lock(err_mu_);
   if (exception_) std::rethrow_exception(exception_);
   return first_error_;
@@ -211,6 +246,12 @@ void LogPropagator::WaitDrained() {
   }
 }
 
+Status LogPropagator::DrainWorkers() {
+  if (handoff_) return handoff_->JoinPhase();
+  WaitDrained();
+  return Status::OK();
+}
+
 void LogPropagator::FlushReleases(bool all) {
   if (pending_releases_.empty()) return;
   const Lsn floor = all ? kLsnMax : FloorLsn();
@@ -225,11 +266,18 @@ void LogPropagator::FlushReleases(bool all) {
 }
 
 Status LogPropagator::DispatchData(Op op, txn::LockOrigin origin) {
-  if (!workers_.empty()) {
+  if (cur_workers_ > 0) {
     const RouteKey route = rules_->RoutingKey(op);
     if (route.kind == RouteKey::Kind::kKey) {
-      const size_t widx = route.key.Hash() % workers_.size();
-      Enqueue(widx, Item{std::move(op), origin});
+      const size_t widx = route.key.Hash() % cur_workers_;
+      if (handoff_) {
+        // Staged, not published: the whole scan block is pushed with one
+        // release-store per worker at the end of the batch (or at the next
+        // barrier), amortizing the handoff cost.
+        handoff_->Stage(widx, Item{std::move(op), origin});
+      } else {
+        Enqueue(widx, Item{std::move(op), origin});
+      }
       return Status::OK();
     }
     // Barrier op: every lower-LSN op must land first, then it runs alone on
@@ -237,7 +285,7 @@ Status LogPropagator::DispatchData(Op op, txn::LockOrigin origin) {
     MORPH_COUNTER_INC("transform.propagate.barrier_drains");
     MORPH_TRACE("transform.propagate.barrier_drain",
                 static_cast<int64_t>(op.lsn), 0);
-    WaitDrained();
+    MORPH_RETURN_NOT_OK(DrainWorkers());
     MORPH_RETURN_NOT_OK(TakeFailure());
   }
   const Status st = ApplyOp(op, origin);
@@ -266,7 +314,7 @@ Status LogPropagator::ProcessRecord(const wal::LogRecord& rec) {
       // the lock owner transaction" (§3.4). With workers, the release is
       // deferred until the floor passes this LSN (see class comment) so
       // commits do not serialize the pipeline.
-      if (workers_.empty()) {
+      if (cur_workers_ == 0) {
         tlocks_->ReleaseTxn(rec.txn_id);
       } else {
         pending_releases_.emplace_back(rec.lsn, rec.txn_id);
@@ -281,10 +329,10 @@ Status LogPropagator::ProcessRecord(const wal::LogRecord& rec) {
       MORPH_TRACE("transform.propagate.cc_bracket",
                   static_cast<int64_t>(rec.lsn),
                   rec.type == wal::LogRecordType::kCcOk ? 1 : 0);
-      if (!workers_.empty()) {
+      if (cur_workers_ > 0) {
         MORPH_COUNTER_INC("transform.propagate.barrier_drains");
       }
-      WaitDrained();
+      MORPH_RETURN_NOT_OK(DrainWorkers());
       MORPH_RETURN_NOT_OK(TakeFailure());
       return rules_->OnControlRecord(rec);
     default:
@@ -298,14 +346,29 @@ Result<size_t> LogPropagator::PropagateRange(
   size_t count = 0;
   next_lsn->store(from, std::memory_order_release);
   std::vector<wal::LogRecord> batch;
-  if (!workers_.empty()) batch.reserve(config_.batch_size);
+  if (num_workers() > 0) batch.reserve(config_.batch_size);
   Lsn next = from;
   Status failure;
   while (next <= to) {
     const auto batch_start = Clock::Now();
     const size_t count_before = count;
+    // Pick this batch's mode. A parallel→serial transition (adaptive
+    // collapse) drains the workers and flushes every deferred release
+    // first, so the serial path starts from the fully-applied state its
+    // eager lock releases assume.
+    const size_t want =
+        adaptive_ ? adaptive_->current_workers() : config_.workers;
+    if (want != cur_workers_) {
+      if (cur_workers_ > 0) {
+        failure = DrainWorkers();
+        if (failure.ok()) failure = TakeFailure();
+        if (!failure.ok()) break;
+        FlushReleases(/*all=*/true);
+      }
+      cur_workers_ = want;
+    }
     const Lsn stop = std::min<Lsn>(to, next + config_.batch_size - 1);
-    if (workers_.empty()) {
+    if (cur_workers_ == 0) {
       // Serial: zero-copy chunked scan, applying by reference under the
       // WAL's shared lock — copying every record out would make propagation
       // as expensive as the transactions that produced it (see Wal::Scan).
@@ -317,9 +380,9 @@ Result<size_t> LogPropagator::PropagateRange(
     } else {
       // Parallel: copy the batch out under one brief shared-lock
       // acquisition (Wal::ScanInto), then dispatch without holding any WAL
-      // lock — Enqueue blocks on queue backpressure, and stalling there
-      // with the log's lock held would stall every appender with it. The
-      // copy cost is overlapped by the workers applying the previous batch.
+      // lock — blocking on worker backpressure with the log's lock held
+      // would stall every appender with it. The copy cost is overlapped by
+      // the workers applying the previous batch.
       batch.clear();
       wal_->ScanInto(next, stop, config_.batch_size, &batch);
       for (const wal::LogRecord& rec : batch) {
@@ -327,30 +390,39 @@ Result<size_t> LogPropagator::PropagateRange(
         count++;
         if (!failure.ok()) break;
       }
+      if (failure.ok() && handoff_) {
+        // Publish the staged scan block: one release-store per worker.
+        failure = handoff_->FlushStaged();
+      }
     }
     MORPH_COUNTER_INC("transform.propagate.batches");
     MORPH_COUNTER_ADD("transform.propagate.records", count - count_before);
     // a = first LSN of the batch, b = records processed in it.
     MORPH_TRACE("transform.propagate.batch", static_cast<int64_t>(next),
                 static_cast<int64_t>(count - count_before));
+    const int64_t batch_nanos = Clock::NanosSince(batch_start);
     if (!failure.ok()) break;
     next = stop + 1;
     next_lsn->store(next, std::memory_order_release);
     FlushReleases(/*all=*/false);
     if (failed_.load(std::memory_order_acquire)) break;
+    if (adaptive_) adaptive_->OnBatch(count - count_before, batch_nanos);
     if (throttled) {
       // The duty cycle gates the reader stage only; workers drain whatever
       // the reader admits. The slice measured is the reader's scan+dispatch
       // time, so a low-priority transformation stays a light background
       // load no matter how many workers it owns.
-      priority_->OnWorkDone(Clock::NanosSince(batch_start));
+      priority_->OnWorkDone(batch_nanos);
       if (cancel && cancel()) break;
     }
   }
   // Whatever the exit path: leave no op in flight and no release pending,
   // so callers observe a fully applied prefix (and propagated_lsn() ==
   // reader position again).
-  WaitDrained();
+  {
+    const Status drained = DrainWorkers();
+    if (failure.ok()) failure = drained;
+  }
   MORPH_RETURN_NOT_OK(TakeFailure());  // rethrows a worker CrashException
   FlushReleases(/*all=*/true);
   MORPH_RETURN_NOT_OK(failure);

@@ -13,6 +13,8 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "transform/adaptive.h"
+#include "transform/handoff.h"
 #include "transform/op.h"
 #include "transform/operator_rules.h"
 #include "transform/priority.h"
@@ -21,6 +23,17 @@
 #include "wal/wal.h"
 
 namespace morph::transform {
+
+/// How ops travel from the reader to the apply workers.
+enum class PropagatorHandoff : uint8_t {
+  /// Mutex-guarded bounded deques with condvars — the original PR 2
+  /// pipeline, kept as the differential-test reference and the bench
+  /// baseline.
+  kMutex,
+  /// Lock-free cache-line-aligned SPSC rings with batched publication and
+  /// counter-based joins (transform/handoff.h). The default.
+  kRing,
+};
 
 struct PropagatorConfig {
   /// Number of parallel apply workers. 0 = serial: the identical pipeline
@@ -33,6 +46,16 @@ struct PropagatorConfig {
   size_t queue_capacity = 1024;
   /// Mirror source-table locks onto the transformed tables (§3.3).
   bool maintain_locks = true;
+  /// Reader→worker handoff mechanism (ignored when workers == 0).
+  PropagatorHandoff handoff = PropagatorHandoff::kRing;
+  /// Adaptive mode (`propagate_workers = auto`): sample records/sec per
+  /// batch and collapse to the serial inline path whenever parallelism
+  /// loses, re-probing periodically (transform/adaptive.h). `workers` is
+  /// then the parallel mode's worker count.
+  bool adaptive = false;
+  /// Probe/exploit window shape for adaptive mode; parallel_workers is
+  /// overwritten from `workers`.
+  AdaptiveController::Options adaptive_options;
 };
 
 /// \brief Per-worker diagnostics, snapshotted into TransformStats.
@@ -57,19 +80,25 @@ struct PropagatorWorkerStats {
 ///     normalizes them into Ops. Priority duty-cycle throttling gates this
 ///     stage only; workers simply drain what the reader admits.
 ///  2. **Partitioner** (inline in the reader): routes each data record to
-///     one of N worker queues by hashing the operator-chosen
+///     one of N workers by hashing the operator-chosen
 ///     OperatorRules::RoutingKey. Ops whose keys are equal hash to the same
 ///     worker and therefore apply in LSN order — the per-record order that
 ///     rules 1–11 and Theorem 1 assume. Barrier-keyed ops drain every
-///     worker, then apply inline on the reader thread.
-///  3. **Workers**: N threads popping bounded FIFO queues, applying ops via
-///     OperatorRules::Apply and mirroring locks via
-///     TransformLockTable::AddTransferred.
+///     worker, then apply inline on the reader thread. With the ring
+///     handoff the whole scan block is *staged* per worker and published
+///     with one release-store per worker (WorkerHandoff::FlushStaged);
+///     with the mutex handoff each op takes the worker's queue lock.
+///  3. **Workers**: N threads applying ops via OperatorRules::Apply and
+///     mirroring locks via TransformLockTable::AddTransferred — popping
+///     bounded mutex deques (kMutex) or SPSC rings in batches (kRing).
 ///
-/// **Watermark.** Each worker publishes a floor: the LSN of its oldest
-/// queued or in-flight op (LSN-max when idle). FloorLsn() is the minimum
+/// **Watermark.** Each worker publishes a floor: no op below it is still
+/// queued or in flight (LSN-max when idle). FloorLsn() is the minimum
 /// across workers; everything below min(reader position, FloorLsn()) has
-/// been fully applied, which is what keeps Wal::TruncateBefore safe.
+/// been fully applied, which is what keeps Wal::TruncateBefore safe. The
+/// mutex path tracks the oldest queued LSN under the queue lock; the ring
+/// path derives the floor from monotone pushed/applied counters (see
+/// transform/handoff.h for the memory-order argument).
 ///
 /// **Completion barrier.** kCommit/kTxnEnd must not release a transaction's
 /// mirrored locks until every one of its ops has been applied (they all
@@ -81,12 +110,20 @@ struct PropagatorWorkerStats {
 /// OnControlRecord inline: the CC verdict must observe every lower-LSN op,
 /// or a late-arriving disturbance would be missed (§5.3).
 ///
+/// **Adaptive mode.** With config.adaptive, an AdaptiveController picks 0
+/// or N workers per batch; a parallel→serial transition drains the workers
+/// and flushes every deferred release first, so the serial path always
+/// starts from the fully-applied state it assumes. `propagate_workers =
+/// auto` therefore tracks max(serial, parallel) minus a few percent of
+/// probing.
+///
 /// **Failure.** A worker that gets a non-OK Status (or an exception — the
 /// deterministic failpoint "transform.propagate.worker" throws
 /// CrashException in crash tests) records it, flips the pipeline into a
 /// drain-and-discard mode, and the reader rethrows/returns it from
 /// PropagateRange on its own thread — exceptions never cross a std::thread
-/// boundary.
+/// boundary. The ring path adds the reader-side site
+/// "transform.handoff.push", firing whenever staged records are published.
 ///
 /// Thread safety: PropagateRange must be called from one thread at a time
 /// (the coordinator thread). FloorLsn() and stats accessors are safe from
@@ -122,7 +159,16 @@ class LogPropagator {
   /// still queued or in flight. LSN-max when all workers are idle.
   Lsn FloorLsn() const;
 
-  size_t num_workers() const { return workers_.size(); }
+  /// Apply worker threads this pipeline owns (0 when serial).
+  size_t num_workers() const {
+    return handoff_ ? handoff_->num_workers() : workers_.size();
+  }
+
+  /// The handoff mechanism in use (meaningful when num_workers() > 0).
+  PropagatorHandoff handoff_kind() const { return config_.handoff; }
+
+  /// The adaptive controller, or nullptr when not in adaptive mode.
+  const AdaptiveController* adaptive() const { return adaptive_.get(); }
 
   /// \brief Total ops applied (all workers + inline).
   size_t ops_applied() const {
@@ -140,10 +186,7 @@ class LogPropagator {
   std::vector<PropagatorWorkerStats> worker_stats() const;
 
  private:
-  struct Item {
-    Op op;
-    txn::LockOrigin origin;
-  };
+  using Item = HandoffItem;
 
   struct Worker {
     mutable std::mutex mu;
@@ -167,15 +210,20 @@ class LogPropagator {
   Status ProcessRecord(const wal::LogRecord& rec);
   /// The apply step shared by workers and the serial inline path.
   Status ApplyOp(const Op& op, txn::LockOrigin origin);
-  /// Routes one data op: hash-partition to a worker queue, or (barrier /
-  /// serial) drain + apply inline. Inline application propagates exceptions
-  /// on the reader thread.
+  /// Routes one data op: hash-partition to a worker (stage or enqueue), or
+  /// (barrier / serial) drain + apply inline. Inline application propagates
+  /// exceptions on the reader thread.
   Status DispatchData(Op op, txn::LockOrigin origin);
   void Enqueue(size_t worker, Item item);
-  /// Blocks until every worker queue is empty and no op is in flight.
+  /// Blocks until every mutex-path worker queue is empty and no op is in
+  /// flight (kMutex only).
   void WaitDrained();
+  /// Handoff-agnostic barrier: flush anything staged, then wait until every
+  /// worker has applied everything handed to it. Returns the ring flush
+  /// status (a "transform.handoff.push" injected error surfaces here).
+  Status DrainWorkers();
   /// Applies deferred lock releases whose LSN the floor has passed
-  /// (`all` forces everything — only valid after WaitDrained()).
+  /// (`all` forces everything — only valid after DrainWorkers()).
   void FlushReleases(bool all);
   void RecordFailure(const Status& st);
   void RecordException(std::exception_ptr e);
@@ -191,7 +239,17 @@ class LogPropagator {
   TableIdSet sources_;
   TableId primary_source_ = 0;  ///< LockOrigin::kSource0
 
+  /// kMutex path workers (empty when serial or kRing).
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// kRing path (null when serial or kMutex).
+  std::unique_ptr<WorkerHandoff> handoff_;
+  /// Adaptive mode controller (null unless config.adaptive).
+  std::unique_ptr<AdaptiveController> adaptive_;
+  /// Workers the *current batch* dispatches to: 0 (inline) or
+  /// num_workers(). Reader-thread only; fixed for a whole batch, changed
+  /// only at batch boundaries (after a drain when collapsing to serial).
+  size_t cur_workers_ = 0;
+
   std::atomic<bool> stop_{false};
   /// Set on the first worker failure: workers drain-and-discard from then
   /// on so the reader can never block against a dead pipeline.

@@ -87,6 +87,12 @@ struct Scenario {
   std::function<std::map<std::string, std::vector<Row>>(
       const std::vector<std::vector<Row>>&)>
       oracle;
+  /// Whether this scenario's write traffic (StripedWriters updates) gets a
+  /// per-key RoutingKey and therefore reaches the worker rings. FoJ routes
+  /// only inserts — updates are barriers applied inline on the reader — so
+  /// its parallel rows never stage a ring push and the
+  /// "transform.handoff.push" pin does not apply.
+  bool writes_route_to_workers = true;
 };
 
 Scenario FojScenario() {
@@ -110,6 +116,7 @@ Scenario FojScenario() {
   sc.initial_rows = {r_rows, s_rows};
   sc.writer_table = 0;
   sc.writer_column = 2;  // payload
+  sc.writes_route_to_workers = false;  // FoJ updates are barrier ops
   sc.make_rules = [](engine::Database* db) -> std::shared_ptr<OperatorRules> {
     FojSpec spec;
     spec.r_table = "r";
@@ -205,12 +212,14 @@ Scenario HSplitScenario() {
   return sc;
 }
 
-TransformConfig CellConfig(SyncStrategy strategy, size_t workers = 0,
-                           size_t populate_workers = 0) {
+TransformConfig CellConfig(
+    SyncStrategy strategy, size_t workers = 0, size_t populate_workers = 0,
+    PropagatorHandoff handoff = PropagatorHandoff::kRing) {
   TransformConfig config;
   config.strategy = strategy;
   config.propagate_workers = workers;
   config.populate_workers = populate_workers;
+  config.propagate_handoff = handoff;
   config.drop_sources = false;  // recovery recreates sources; keep symmetric
   // Bounds the whole run, the drain, and — critically — how long a writer
   // stays parked at the blocking gate when a crash cell kills the
@@ -224,7 +233,8 @@ TransformConfig CellConfig(SyncStrategy strategy, size_t workers = 0,
 /// transform-path failpoints this (operator, strategy) pair crosses.
 std::vector<std::string> EnumerateSites(const Scenario& sc,
                                         SyncStrategy strategy, size_t workers,
-                                        size_t populate_workers) {
+                                        size_t populate_workers,
+                                        PropagatorHandoff handoff) {
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
@@ -241,8 +251,8 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
   EXPECT_TRUE(writers.WaitForCommits(5));
 
   auto rules = sc.make_rules(&db);
-  TransformCoordinator coord(&db, rules,
-                             CellConfig(strategy, workers, populate_workers));
+  TransformCoordinator coord(
+      &db, rules, CellConfig(strategy, workers, populate_workers, handoff));
   auto straddler = db.Begin();
   EXPECT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
                         Row({kStraddlerKey}),
@@ -270,11 +280,14 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
 
 /// One matrix cell: crash at `site`, recover, verify (a)-(c) above.
 void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
-                  size_t populate_workers, const std::string& site) {
+                  size_t populate_workers, PropagatorHandoff handoff,
+                  const std::string& site) {
+  const char* handoff_name =
+      handoff == PropagatorHandoff::kRing ? "ring" : "mutex";
   SCOPED_TRACE(sc.name + " / " + std::string(SyncStrategyToString(strategy)) +
                " / workers=" + std::to_string(workers) +
                " / populate_workers=" + std::to_string(populate_workers) +
-               " / crash at " + site);
+               " / handoff=" + handoff_name + " / crash at " + site);
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
@@ -282,7 +295,8 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
   std::string path = ::testing::TempDir() + "/morph_crash_" + sc.name + "_" +
                      std::string(SyncStrategyToString(strategy)) + "_w" +
                      std::to_string(workers) + "_pw" +
-                     std::to_string(populate_workers) + "_" + site + ".log";
+                     std::to_string(populate_workers) + "_" + handoff_name +
+                     "_" + site + ".log";
   for (char& c : path) {
     if (c == '.') c = '_';
   }
@@ -302,8 +316,8 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
     ASSERT_TRUE(writers.WaitForCommits(5));
 
     auto rules = sc.make_rules(&db);
-    TransformCoordinator coord(&db, rules,
-                               CellConfig(strategy, workers, populate_workers));
+    TransformCoordinator coord(
+        &db, rules, CellConfig(strategy, workers, populate_workers, handoff));
     auto straddler = db.Begin();
     ASSERT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
                           Row({kStraddlerKey}),
@@ -412,20 +426,32 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
 }
 
 void RunMatrixRow(const Scenario& sc, SyncStrategy strategy,
-                  size_t workers = 0, size_t populate_workers = 0) {
-  const auto sites = EnumerateSites(sc, strategy, workers, populate_workers);
+                  size_t workers = 0, size_t populate_workers = 0,
+                  PropagatorHandoff handoff = PropagatorHandoff::kRing) {
+  const auto sites =
+      EnumerateSites(sc, strategy, workers, populate_workers, handoff);
   ASSERT_FALSE(sites.empty());
   // Sanity-pin the coverage: the phase boundaries every strategy crosses.
-  for (const char* expected :
-       {"transform.prepare.before", "transform.fuzzy.begin",
-        "transform.populate.batch", "transform.propagate.iteration",
-        "transform.sync.latched", "transform.drain.iteration",
-        "transform.finalize.before_drop"}) {
+  std::vector<const char*> expected_sites = {
+      "transform.prepare.before",      "transform.fuzzy.begin",
+      "transform.populate.batch",      "transform.propagate.iteration",
+      "transform.sync.latched",        "transform.drain.iteration",
+      "transform.finalize.before_drop"};
+  if (workers > 0 && handoff == PropagatorHandoff::kRing &&
+      sc.writes_route_to_workers) {
+    // The lock-free rows must cross the ring-publication site (it fires on
+    // the reader thread just before a staged batch's release-store becomes
+    // visible to the workers), so a crash there is exercised below like any
+    // other: records already published may or may not have been applied to
+    // the in-memory targets, and recovery must not care.
+    expected_sites.push_back("transform.handoff.push");
+  }
+  for (const char* expected : expected_sites) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
         << "tracing run did not cross " << expected;
   }
   for (const std::string& site : sites) {
-    RunCrashCell(sc, strategy, workers, populate_workers, site);
+    RunCrashCell(sc, strategy, workers, populate_workers, handoff, site);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -460,12 +486,17 @@ TEST(CrashMatrixTest, HSplitNonBlockingCommit) {
 
 // --- parallel propagation rows ----------------------------------------------
 //
-// Same matrix, but the propagation pipeline runs with apply workers: the
-// "transform.propagate.worker" site now fires on a *worker* thread, and the
-// propagator must funnel the CrashException back to the coordinator thread
-// (TakeFailure) after draining — the recovery contract is unchanged, because
-// a crash anywhere in the pipeline is still just a dead incarnation whose
-// only surviving state is the WAL.
+// Same matrix, but the propagation pipeline runs with apply workers over the
+// default lock-free ring handoff: "transform.propagate.worker" now fires on a
+// *worker* thread (the propagator must funnel the CrashException back to the
+// coordinator thread via TakeFailure after draining), and
+// "transform.handoff.push" fires on the reader thread at the batch
+// publication point — RunMatrixRow pins both in the enumerated sites. The
+// recovery contract is unchanged either way, because a crash anywhere in the
+// pipeline is still just a dead incarnation whose only surviving state is
+// the WAL; in particular a crash at the push site may leave a published
+// batch half-applied by a worker that keeps draining while the coordinator
+// unwinds, and none of that matters after restart.
 TEST(CrashMatrixTest, FojNonBlockingAbortParallel) {
   RunMatrixRow(FojScenario(), SyncStrategy::kNonBlockingAbort, /*workers=*/3);
 }
@@ -476,6 +507,13 @@ TEST(CrashMatrixTest, VSplitNonBlockingAbortParallel) {
 TEST(CrashMatrixTest, HSplitNonBlockingAbortParallel) {
   RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort,
                /*workers=*/3);
+}
+// The legacy mutex handoff stays covered: same row shape, explicit kMutex.
+// No "transform.handoff.push" pin here — that site is the ring publication
+// point and never fires on the mutex path.
+TEST(CrashMatrixTest, FojNonBlockingAbortParallelMutex) {
+  RunMatrixRow(FojScenario(), SyncStrategy::kNonBlockingAbort, /*workers=*/3,
+               /*populate_workers=*/0, PropagatorHandoff::kMutex);
 }
 
 // --- parallel population rows ------------------------------------------------

@@ -1,0 +1,287 @@
+// Tests for the lock-free handoff layer and the adaptive worker controller.
+//
+// Three angles:
+//  1. Differential: the ring handoff, the legacy mutex handoff, and the
+//     serial path must produce byte-identical transformed tables from the
+//     same seeded op stream, for every operator and worker count — the
+//     strongest statement that the lock-free rewrite changed performance,
+//     not semantics. (Cell machinery shared with propagator_parallel_test
+//     via tests/propagator_test_util.h.)
+//  2. Adaptive unit: the probe/exploit state machine collapses to serial
+//     when parallelism loses, re-probes, and expands back when it wins.
+//  3. Adaptive integration: a failpoint-injected delay on the ring push
+//     makes the parallel mode measurably slow on a live LogPropagator, and
+//     the controller must collapse to serial and keep re-probing.
+
+#include "transform/handoff.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/database.h"
+#include "tests/propagator_test_util.h"
+#include "tests/test_util.h"
+#include "transform/adaptive.h"
+#include "transform/coordinator.h"
+#include "transform/foj.h"
+#include "transform/priority.h"
+#include "transform/propagator.h"
+#include "txn/transform_locks.h"
+
+namespace morph::transform {
+namespace {
+
+using morph::testing::RowsToString;
+using morph::transform::testing::CellOptions;
+using morph::transform::testing::CellResult;
+using morph::transform::testing::NearCount;
+using morph::transform::testing::Operator;
+using morph::transform::testing::OperatorName;
+using morph::transform::testing::RunCell;
+
+// ---------------------------------------------------------------------------
+// 1. Differential: ring == mutex == serial.
+// ---------------------------------------------------------------------------
+
+class HandoffDifferentialTest : public ::testing::TestWithParam<Operator> {};
+
+TEST_P(HandoffDifferentialTest, RingMatchesMutexMatchesSerial) {
+  const Operator op = GetParam();
+  const uint64_t seed = 977 + static_cast<uint64_t>(op);
+  CellOptions base;
+  base.strategy = SyncStrategy::kNonBlockingAbort;
+  base.seed = seed;
+  base.workers = 0;
+  const CellResult serial = RunCell(op, base);
+  ASSERT_TRUE(serial.completed) << serial.abort_reason;
+  ASSERT_EQ(serial.locks_at_end, 0u);
+  EXPECT_GT(serial.log_records, 100u);
+  EXPECT_EQ(serial.handoff, "serial");
+
+  for (const size_t workers : {2ul, 4ul, 8ul}) {
+    for (const PropagatorHandoff handoff :
+         {PropagatorHandoff::kMutex, PropagatorHandoff::kRing}) {
+      const char* handoff_name =
+          handoff == PropagatorHandoff::kRing ? "ring" : "mutex";
+      SCOPED_TRACE(std::string(OperatorName(op)) + " workers=" +
+                   std::to_string(workers) + " handoff=" + handoff_name);
+      CellOptions opts = base;
+      opts.workers = workers;
+      opts.handoff = handoff;
+      const CellResult cell = RunCell(op, opts);
+      ASSERT_TRUE(cell.completed) << cell.abort_reason;
+      EXPECT_EQ(cell.handoff, handoff_name);
+      EXPECT_EQ(cell.resolved_workers, workers);
+      EXPECT_EQ(cell.targets, serial.targets)
+          << handoff_name << " (" << cell.targets.size() << " rows):\n"
+          << RowsToString(cell.targets) << "serial ("
+          << serial.targets.size() << " rows):\n"
+          << RowsToString(serial.targets);
+      EXPECT_EQ(cell.s_counters, serial.s_counters);
+      EXPECT_EQ(cell.locks_at_end, 0u);
+      EXPECT_TRUE(NearCount(cell.registry_ops_delta, serial.registry_ops_delta))
+          << cell.registry_ops_delta << " vs " << serial.registry_ops_delta;
+      EXPECT_TRUE(
+          NearCount(cell.registry_records_delta, serial.registry_records_delta))
+          << cell.registry_records_delta << " vs "
+          << serial.registry_records_delta;
+    }
+  }
+}
+
+// propagate_workers = auto resolves to the adaptive ring pipeline; whatever
+// mode the controller lands in, the result must still equal serial.
+TEST_P(HandoffDifferentialTest, AutoWorkersMatchesSerial) {
+  const Operator op = GetParam();
+  const uint64_t seed = 1453 + static_cast<uint64_t>(op);
+  CellOptions base;
+  base.strategy = SyncStrategy::kNonBlockingAbort;
+  base.seed = seed;
+  base.workers = 0;
+  const CellResult serial = RunCell(op, base);
+  ASSERT_TRUE(serial.completed) << serial.abort_reason;
+
+  CellOptions auto_opts = base;
+  auto_opts.workers = TransformConfig::kAutoWorkers;
+  // The controller may (correctly) collapse to serial mid-run, so queue
+  // workers are not guaranteed to have applied anything.
+  auto_opts.expect_queue_work = false;
+  const CellResult cell = RunCell(op, auto_opts);
+  ASSERT_TRUE(cell.completed) << cell.abort_reason;
+  EXPECT_EQ(cell.handoff, "ring");
+  // auto resolves to clamp(hw_concurrency - 1, 2, 8) actual worker threads.
+  EXPECT_GE(cell.resolved_workers, 2u);
+  EXPECT_LE(cell.resolved_workers, 8u);
+  EXPECT_EQ(cell.targets, serial.targets)
+      << "auto (" << cell.targets.size() << " rows):\n"
+      << RowsToString(cell.targets) << "serial (" << serial.targets.size()
+      << " rows):\n"
+      << RowsToString(serial.targets);
+  EXPECT_EQ(cell.s_counters, serial.s_counters);
+  EXPECT_EQ(cell.locks_at_end, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Operators, HandoffDifferentialTest,
+                         ::testing::Values(Operator::kFoj, Operator::kVSplit,
+                                           Operator::kHSplit,
+                                           Operator::kMerge),
+                         [](const ::testing::TestParamInfo<Operator>& info) {
+                           return std::string(OperatorName(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// 2. Adaptive controller state machine (synthetic windows).
+// ---------------------------------------------------------------------------
+
+AdaptiveController::Options SmallWindows() {
+  AdaptiveController::Options opts;
+  opts.parallel_workers = 4;
+  opts.probe_records = 100;
+  opts.exploit_records = 400;
+  opts.switch_margin = 1.05;
+  return opts;
+}
+
+TEST(AdaptiveControllerTest, CollapsesWhenParallelLosesAndKeepsReprobing) {
+  AdaptiveController ctl(SmallWindows());
+  // Starts probing parallel.
+  EXPECT_EQ(ctl.current_workers(), 4u);
+  // Parallel probe: 100 records at 1 record/µs.
+  ctl.OnBatch(100, 100'000);
+  EXPECT_EQ(ctl.current_workers(), 0u);  // now probing serial
+  EXPECT_EQ(ctl.probe_windows(), 1u);
+  // Serial probe: 10× faster. Serial becomes the incumbent.
+  ctl.OnBatch(100, 10'000);
+  EXPECT_EQ(ctl.current_workers(), 0u);
+  EXPECT_EQ(ctl.probe_windows(), 2u);
+  EXPECT_GE(ctl.collapses(), 1u);
+  // Exploit window completes → controller re-probes the challenger.
+  ctl.OnBatch(400, 40'000);
+  EXPECT_EQ(ctl.current_workers(), 4u);  // challenger probe runs parallel
+  // Challenger still slow → back to serial.
+  ctl.OnBatch(100, 100'000);
+  EXPECT_EQ(ctl.current_workers(), 0u);
+  EXPECT_EQ(ctl.probe_windows(), 3u);
+  EXPECT_GE(ctl.collapses(), 2u);
+}
+
+TEST(AdaptiveControllerTest, ExploitsParallelWhenItWins) {
+  AdaptiveController ctl(SmallWindows());
+  ctl.OnBatch(100, 10'000);   // parallel probe: fast
+  ctl.OnBatch(100, 100'000);  // serial probe: 10× slower
+  EXPECT_EQ(ctl.current_workers(), 4u);
+  EXPECT_EQ(ctl.probe_windows(), 2u);
+  // Challenger (serial) probe after the exploit window: still slower, so
+  // parallel stays the incumbent.
+  ctl.OnBatch(400, 40'000);
+  EXPECT_EQ(ctl.current_workers(), 0u);  // serial challenger probe
+  ctl.OnBatch(100, 100'000);
+  EXPECT_EQ(ctl.current_workers(), 4u);
+  // A later challenger probe where serial now wins decisively → collapse.
+  ctl.OnBatch(400, 40'000);   // exploit parallel
+  EXPECT_EQ(ctl.current_workers(), 0u);
+  ctl.OnBatch(100, 1'000);    // serial challenger: 100× the incumbent rate
+  EXPECT_EQ(ctl.current_workers(), 0u);
+  EXPECT_GE(ctl.expansions(), 1u);
+  EXPECT_GE(ctl.collapses(), 1u);
+}
+
+TEST(AdaptiveControllerTest, SerialWinsTies) {
+  AdaptiveController ctl(SmallWindows());
+  // Identical rates: within the switch margin, so serial must win — the
+  // mode with no coordination cost takes ties.
+  ctl.OnBatch(100, 50'000);
+  ctl.OnBatch(100, 50'000);
+  EXPECT_EQ(ctl.current_workers(), 0u);
+}
+
+TEST(AdaptiveControllerTest, WindowsAccumulateAcrossBatches) {
+  AdaptiveController ctl(SmallWindows());
+  // Sub-window batches must accumulate, not decide early.
+  for (int i = 0; i < 3; ++i) {
+    ctl.OnBatch(30, 30'000);
+    EXPECT_EQ(ctl.current_workers(), 4u) << "decided before window filled";
+  }
+  ctl.OnBatch(30, 30'000);  // 120 >= probe_records: window closes
+  EXPECT_EQ(ctl.current_workers(), 0u);
+  // Zero-record batches carry no signal and must not perturb the window.
+  ctl.OnBatch(0, 1'000'000'000);
+  EXPECT_EQ(ctl.current_workers(), 0u);
+  EXPECT_EQ(ctl.probe_windows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Integration: a delay failpoint on the ring push makes parallel lose on
+//    a live propagator; the controller must collapse to serial and the
+//    result must still be exactly correct.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveIntegrationTest, DelayedHandoffCollapsesToSerial) {
+  engine::Database db;
+  auto r = *db.CreateTable("r", morph::testing::RSchema());
+  auto s = *db.CreateTable("s", morph::testing::SSchema());
+  FojSpec spec;
+  spec.r_table = "r";
+  spec.s_table = "s";
+  spec.r_join_column = "jv";
+  spec.s_join_column = "jv";
+  spec.target_table = "t_out";
+  auto made = FojRules::Make(&db, spec);
+  ASSERT_TRUE(made.ok());
+  auto rules = std::shared_ptr<FojRules>(std::move(made).ValueOrDie());
+  ASSERT_TRUE(rules->Prepare().ok());
+
+  constexpr int kInserts = 3000;
+  const Lsn from = db.wal()->LastLsn() + 1;
+  for (int i = 0; i < kInserts; ++i) {
+    auto t = db.Begin();
+    ASSERT_TRUE(
+        db.Insert(t, r.get(), Row({i, static_cast<int64_t>(i % 7), "p"}))
+            .ok());
+    ASSERT_TRUE(db.Commit(t).ok());
+  }
+
+  txn::TransformLockTable tlocks;
+  PriorityController priority(1.0);
+  PropagatorConfig config;
+  config.workers = 2;
+  config.handoff = PropagatorHandoff::kRing;
+  config.adaptive = true;
+  config.adaptive_options.probe_records = 128;
+  config.adaptive_options.exploit_records = 512;
+  config.batch_size = 64;
+  LogPropagator prop(db.wal(), rules.get(), &tlocks, &priority, config);
+  std::vector<TableId> source_ids;
+  for (const auto& src : rules->Sources()) source_ids.push_back(src->id());
+  prop.SetSources(source_ids);
+  ASSERT_NE(prop.adaptive(), nullptr);
+
+  // Every staged-batch publish now eats 1.5 ms on the reader thread: the
+  // parallel mode's measured rate craters while serial (which never calls
+  // FlushStaged) is unaffected.
+  Failpoints::Instance().Delay("transform.handoff.push", 1500);
+  std::atomic<Lsn> next{from};
+  auto processed = prop.PropagateRange(from, db.wal()->LastLsn(),
+                                       /*throttled=*/false, &next,
+                                       [] { return false; });
+  Failpoints::Instance().DisableAll();
+  ASSERT_TRUE(processed.ok()) << processed.status().ToString();
+
+  const AdaptiveController* ctl = prop.adaptive();
+  // The initial probe must have measured both modes and collapsed.
+  EXPECT_GE(ctl->probe_windows(), 3u)
+      << "expected initial probes plus at least one challenger re-probe";
+  EXPECT_GE(ctl->collapses(), 1u);
+  // Correctness under mode switches: every source op applied exactly once.
+  EXPECT_EQ(prop.ops_applied(), static_cast<size_t>(kInserts));
+  size_t target_rows = 0;
+  rules->Targets()[0]->ForEach([&](const storage::Record&) { ++target_rows; });
+  EXPECT_EQ(target_rows, static_cast<size_t>(kInserts));
+}
+
+}  // namespace
+}  // namespace morph::transform

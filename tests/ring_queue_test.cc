@@ -1,0 +1,203 @@
+// Unit and stress tests for the SPSC ring underlying the propagator's
+// lock-free handoff layer (common/ring_queue.h).
+//
+// The differential suites (handoff_test, propagator_parallel_test) prove the
+// handoff layer end-to-end; this file pins the ring's own contract:
+// full/empty boundary behavior, index wraparound, batched == singleton
+// semantics, and a two-thread hammer that a sanitizer build (TSan in CI)
+// turns into a memory-order proof.
+
+#include "common/ring_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace morph {
+namespace {
+
+TEST(RingQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRingQueue<int>(0).capacity(), 1u);
+  EXPECT_EQ(SpscRingQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRingQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRingQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRingQueue<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRingQueue<int>(1024).capacity(), 1024u);
+}
+
+TEST(RingQueueTest, FullAndEmptyBoundaries) {
+  SpscRingQueue<int> q(4);
+  int out = 0;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(q.TryPop(&out));  // pop from empty fails
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));  // push to full fails
+  EXPECT_EQ(q.SizeApprox(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(q.TryPop(&out));
+  // The freed slots are reusable.
+  EXPECT_TRUE(q.TryPush(7));
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(RingQueueTest, PushNTakesPrefixWhenNearlyFull) {
+  SpscRingQueue<int> q(4);
+  int items[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(q.TryPushN(items, 6), 4u);  // only 4 slots
+  int out[8];
+  EXPECT_EQ(q.TryPopN(out, 8), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  // Partial fill, then an over-long push takes exactly the free space.
+  ASSERT_TRUE(q.TryPush(100));
+  EXPECT_EQ(q.TryPushN(items, 6), 3u);
+  ASSERT_TRUE(q.TryPop(out));
+  EXPECT_EQ(out[0], 100);
+  EXPECT_EQ(q.TryPopN(out, 8), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], i);
+}
+
+// Drive the free-running indices through many wraparounds at several pow2
+// capacities: slot = index & mask must stay consistent across the seam.
+TEST(RingQueueTest, WraparoundPreservesFifoAtPow2Capacities) {
+  for (size_t cap : {1u, 2u, 8u, 64u}) {
+    SpscRingQueue<uint64_t> q(cap);
+    uint64_t pushed = 0, popped = 0;
+    std::mt19937_64 rng(cap);
+    const uint64_t total = cap * 1000 + 17;
+    while (popped < total) {
+      // Random interleave of pushes and pops, biased to keep the ring near
+      // full (the wraparound-heavy regime).
+      size_t burst = 1 + rng() % cap;
+      for (size_t i = 0; i < burst && pushed < total; ++i) {
+        if (!q.TryPush(pushed)) break;
+        ++pushed;
+      }
+      burst = 1 + rng() % cap;
+      for (size_t i = 0; i < burst; ++i) {
+        uint64_t v;
+        if (!q.TryPop(&v)) break;
+        ASSERT_EQ(v, popped) << "cap=" << cap;
+        ++popped;
+      }
+    }
+    EXPECT_TRUE(q.Empty());
+  }
+}
+
+// Batched TryPushN/TryPopN must be observationally identical to singleton
+// TryPush/TryPop: model both against a std::deque under a fuzzed schedule.
+TEST(RingQueueTest, BatchedMatchesSingletonAgainstDequeModel) {
+  SpscRingQueue<int> q(16);
+  std::deque<int> model;
+  std::mt19937 rng(42);
+  int next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng() % 2 == 0) {
+      int items[8];
+      const size_t n = 1 + rng() % 8;
+      for (size_t i = 0; i < n; ++i) items[i] = next + static_cast<int>(i);
+      size_t accepted;
+      if (rng() % 2 == 0) {
+        accepted = q.TryPushN(items, n);
+      } else {
+        accepted = 0;
+        while (accepted < n && q.TryPush(items[accepted])) ++accepted;
+      }
+      ASSERT_EQ(accepted, std::min(n, 16 - model.size()));
+      for (size_t i = 0; i < accepted; ++i) model.push_back(items[i]);
+      next += static_cast<int>(accepted);
+    } else {
+      int out[8];
+      const size_t max = 1 + rng() % 8;
+      size_t got;
+      if (rng() % 2 == 0) {
+        got = q.TryPopN(out, max);
+      } else {
+        got = 0;
+        while (got < max && q.TryPop(&out[got])) ++got;
+      }
+      ASSERT_EQ(got, std::min(max, model.size()));
+      for (size_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i], model.front());
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(q.SizeApprox(), model.size());
+    ASSERT_EQ(q.Empty(), model.empty());
+  }
+}
+
+// Move-only payloads: the ring must never copy (the handoff layer moves Ops
+// with heap-backed rows through it).
+TEST(RingQueueTest, MoveOnlyPayload) {
+  SpscRingQueue<std::unique_ptr<int>> q(8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.TryPush(std::make_unique<int>(i)));
+  }
+  std::unique_ptr<int> out[8];
+  ASSERT_EQ(q.TryPopN(out, 8), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(out[i], nullptr);
+    EXPECT_EQ(*out[i], i);
+  }
+}
+
+// Two-thread hammer: one producer, one consumer, >= 1M records through a
+// small ring (maximum wraparound pressure). Asserts exact FIFO order and
+// zero loss. Under TSan (CI job `tsan`) this doubles as a proof that the
+// release/acquire pairs in TryPushN/TryPopN are sufficient — any missing
+// edge between the slot writes and the index publication is a data race on
+// slots_ that TSan reports.
+TEST(RingQueueStressTest, TwoThreadHammerFifoNoLoss) {
+  constexpr uint64_t kTotal = 1'200'000;
+  SpscRingQueue<uint64_t> q(256);
+  std::atomic<bool> consumer_ok{true};
+  std::thread consumer([&] {
+    uint64_t expect = 0;
+    uint64_t batch[64];
+    while (expect < kTotal) {
+      const size_t n = q.TryPopN(batch, 64);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (batch[i] != expect) {
+          consumer_ok.store(false, std::memory_order_relaxed);
+          return;
+        }
+        ++expect;
+      }
+    }
+  });
+  uint64_t next = 0;
+  uint64_t batch[64];
+  std::mt19937_64 rng(7);
+  while (next < kTotal) {
+    // Mix batch sizes (including singletons) so both publication paths and
+    // the partial-acceptance prefix logic run under contention.
+    const size_t want =
+        std::min<uint64_t>(1 + rng() % 64, kTotal - next);
+    for (size_t i = 0; i < want; ++i) batch[i] = next + i;
+    const size_t accepted = q.TryPushN(batch, want);
+    if (accepted == 0) std::this_thread::yield();
+    next += accepted;
+  }
+  consumer.join();
+  EXPECT_TRUE(consumer_ok.load()) << "consumer observed out-of-order value";
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace
+}  // namespace morph
