@@ -1,7 +1,9 @@
 #include "engine/checkpoint.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <unordered_map>
 
 #include "common/codec.h"
@@ -132,10 +134,22 @@ Result<CheckpointMeta> Checkpointer::Write(Database* db,
   codec::PutU32(&buf, static_cast<uint32_t>(meta.tables.size()));
   for (const std::string& name : meta.tables) codec::PutString(&buf, name);
 
-  std::ofstream out(MetaPath(dir), std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write " + MetaPath(dir));
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out) return Status::IOError("short write to " + MetaPath(dir));
+  // Temp + rename: a crash mid-write must leave the previous checkpoint's
+  // meta (and thus the previous checkpoint) usable — the same atomicity
+  // discipline as Wal::SaveToFile.
+  const std::string meta_tmp = MetaPath(dir) + ".tmp";
+  {
+    std::ofstream out(meta_tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write " + meta_tmp);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.flush();
+    if (!out) return Status::IOError("short write to " + meta_tmp);
+  }
+  std::error_code rename_ec;
+  std::filesystem::rename(meta_tmp, MetaPath(dir), rename_ec);
+  if (rename_ec) {
+    return Status::IOError("rename " + meta_tmp + ": " + rename_ec.message());
+  }
   // a = guard LSN, b = tables snapshotted.
   MORPH_TRACE("engine.checkpoint.write", static_cast<int64_t>(meta.guard_lsn),
               static_cast<int64_t>(meta.tables.size()));
@@ -191,8 +205,12 @@ Result<Checkpointer::Stats> Checkpointer::Restore(const std::string& dir,
     att[meta.active_txns[i]] = meta.active_last_lsns[i];
   }
   Status redo_status;
-  wal->Scan(meta.redo_start_lsn(), wal->LastLsn(),
-            [&](const wal::LogRecord& rec) {
+  // Checked scan: if the WAL has been truncated past this checkpoint's redo
+  // start (e.g. restoring from a stale checkpoint directory after a newer
+  // checkpoint truncated further), redo records are gone and silently
+  // skipping them would restore torn state — fail loudly instead.
+  auto scanned = wal->ScanChecked(
+      meta.redo_start_lsn(), wal->LastLsn(), [&](const wal::LogRecord& rec) {
               stats.records_scanned++;
               switch (rec.type) {
                 case wal::LogRecordType::kBegin:
@@ -224,6 +242,7 @@ Result<Checkpointer::Stats> Checkpointer::Restore(const std::string& dir,
                   break;
               }
             });
+  if (!scanned.ok()) return scanned.status();
   MORPH_RETURN_NOT_OK(redo_status);
 
   stats.losers = att.size();

@@ -35,6 +35,11 @@ Status Database::Commit(const TxnPtr& t) {
     }
   }
   MORPH_RETURN_NOT_OK(txns_.Commit(t));
+  // WAL-before-return: a commit is only acknowledged once its commit record
+  // is durable. In-memory mode this is a no-op; with a segmented WAL the
+  // caller blocks until the group-commit writer's flush horizon passes the
+  // commit record (many committers share one flush).
+  MORPH_RETURN_NOT_OK(wal_.Sync(t->last_lsn()));
   MORPH_COUNTER_INC("engine.txn.commits");
   if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
     hook->OnTxnFinished(t->id(), t->epoch());

@@ -119,6 +119,18 @@ Result<Recovery::Stats> Recovery::Restart(wal::Wal* wal,
   return stats;
 }
 
+Result<Recovery::Stats> Recovery::RestartDurable(wal::Wal* wal,
+                                                 const wal::WalOptions& options,
+                                                 storage::Catalog* catalog) {
+  MORPH_RETURN_NOT_OK(wal->OpenDurable(options));
+  MORPH_ASSIGN_OR_RETURN(Stats stats, Restart(wal, catalog));
+  // The undo pass appended CLRs and TXN_ENDs; they must reach the segment
+  // chain before the engine reopens for business, or a second crash would
+  // replay the same losers against already-compensated state.
+  MORPH_RETURN_NOT_OK(wal->Sync(wal->LastLsn()));
+  return stats;
+}
+
 Result<size_t> Recovery::UndoLosers(
     wal::Wal* wal, storage::Catalog* catalog,
     const std::unordered_map<TxnId, Lsn>& losers) {

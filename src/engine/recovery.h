@@ -46,6 +46,15 @@ class Recovery {
   /// unknown are skipped (dropped tables).
   static Result<Stats> Restart(wal::Wal* wal, storage::Catalog* catalog);
 
+  /// \brief Restart against a segmented on-disk WAL: opens the chain rooted
+  /// at `options.dir` into `wal` (a fresh, in-memory Wal — the replayed
+  /// records become its contents), runs Restart, then makes the CLRs and
+  /// TXN_END records written by the undo pass durable before returning, so
+  /// a crash right after recovery cannot resurrect half-undone losers.
+  static Result<Stats> RestartDurable(wal::Wal* wal,
+                                      const wal::WalOptions& options,
+                                      storage::Catalog* catalog);
+
   /// \brief The undo pass, shared with checkpoint-based restart
   /// (engine::Checkpointer): rolls back each loser from its undo-chain
   /// head, writing CLRs and a final TXN_END. Returns the number of

@@ -136,9 +136,12 @@ Result<TransformStats> TransformCoordinator::Run() {
   // propagation start the pin conservatively holds the whole retained log;
   // it then tracks start_lsn and finally the live propagation watermark.
   // Without the pin, a checkpoint whose truncate_floor lies past
-  // un-propagated records would silently starve the propagator — Wal::Scan
-  // skips a truncated prefix without error and the transformed tables would
-  // simply miss those updates.
+  // un-propagated records would discard them before the propagator reads
+  // them — the propagator's checked scans would fail the transformation
+  // loudly, but the pin is what prevents the loss in the first place. In
+  // durable mode the same pin gates segment recycling: TruncateBefore
+  // clamps at this floor before persisting a new chain base, so no segment
+  // holding un-propagated records is ever recycled.
   retention_floor_.store(db_->wal()->FirstLsn(), std::memory_order_release);
   const uint64_t pin_id = db_->wal()->AddRetentionPin([this]() -> Lsn {
     const Lsn watermark = propagated_lsn();

@@ -372,11 +372,15 @@ Result<size_t> LogPropagator::PropagateRange(
       // Serial: zero-copy chunked scan, applying by reference under the
       // WAL's shared lock — copying every record out would make propagation
       // as expensive as the transactions that produced it (see Wal::Scan).
-      wal_->Scan(next, stop, [&](const wal::LogRecord& rec) {
+      // Checked: a truncation racing past the reader means records this
+      // transformation never applied are gone — propagating past the hole
+      // would silently lose updates, so the transformation fails instead.
+      auto scanned = wal_->ScanChecked(next, stop, [&](const wal::LogRecord& rec) {
         if (!failure.ok()) return;
         failure = ProcessRecord(rec);
         count++;
       });
+      if (failure.ok() && !scanned.ok()) failure = scanned.status();
     } else {
       // Parallel: copy the batch out under one brief shared-lock
       // acquisition (Wal::ScanInto), then dispatch without holding any WAL
@@ -384,7 +388,11 @@ Result<size_t> LogPropagator::PropagateRange(
       // would stall every appender with it. The copy cost is overlapped by
       // the workers applying the previous batch.
       batch.clear();
-      wal_->ScanInto(next, stop, config_.batch_size, &batch);
+      auto scanned = wal_->ScanIntoChecked(next, stop, config_.batch_size, &batch);
+      if (!scanned.ok()) {
+        failure = scanned.status();
+        break;
+      }
       for (const wal::LogRecord& rec : batch) {
         failure = ProcessRecord(rec);
         count++;

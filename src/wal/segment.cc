@@ -1,0 +1,428 @@
+#include "wal/segment.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "common/codec.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace morph::wal {
+
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x4d534547;   // "MSEG"
+constexpr uint32_t kManifestMagic = 0x4d574d46;  // "MWMF"
+constexpr uint32_t kFormatVersion = 1;
+/// [magic][version][segment id][first expected LSN]
+constexpr size_t kSegmentHeaderBytes = 4 + 4 + 8 + 8;
+
+std::string ReadWholeFile(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  *ok = true;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Writes all `n` bytes to `fd`, retrying short writes and EINTR.
+Status WriteFully(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    data += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename. The previous file (if any) survives any crash before the
+/// rename; after the rename the new content is complete.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot open " + tmp + " for writing");
+  Status st = WriteFully(fd, bytes.data(), bytes.size());
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::IOError("fsync " + tmp + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (!st.ok()) return st;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t FrameChecksum(std::string_view data) {
+  uint32_t h = 2166136261u;
+  for (const char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void AppendFrame(std::string* out, const LogRecord& rec) {
+  std::string payload;
+  rec.EncodeTo(&payload);
+  codec::PutU32(out, static_cast<uint32_t>(payload.size()));
+  codec::PutU32(out, FrameChecksum(payload));
+  *out += payload;
+}
+
+std::string SegmentedLog::ManifestPath(const std::string& dir) {
+  return dir + "/wal.manifest";
+}
+
+std::string SegmentedLog::SegmentPath(const std::string& dir, uint64_t id) {
+  return dir + "/seg-" + std::to_string(id) + ".wal";
+}
+
+SegmentedLog::~SegmentedLog() {
+  // Staged-but-unflushed bytes are deliberately discarded: they were never
+  // promised durable (no committer's Sync returned for them), and writing
+  // them here would resurrect data a simulated crash already "lost".
+  std::lock_guard lock(mu_);
+  CloseFdLocked();
+}
+
+void SegmentedLog::CloseFdLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Lsn> SegmentedLog::Open(
+    const Options& options, const std::function<void(LogRecord&&)>& replay) {
+  std::lock_guard lock(mu_);
+  if (open_) return Status::InvalidArgument("SegmentedLog already open");
+  options_ = options;
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("SegmentedLog needs a directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + options_.dir + ": " +
+                           ec.message());
+  }
+
+  // --- manifest ----------------------------------------------------------
+  std::vector<uint64_t> listed_ids;
+  const std::string manifest_path = ManifestPath(options_.dir);
+  if (std::filesystem::exists(manifest_path)) {
+    bool ok = false;
+    const std::string buf = ReadWholeFile(manifest_path, &ok);
+    if (!ok) return Status::IOError("cannot read " + manifest_path);
+    codec::Reader r{buf, 0, false};
+    if (r.GetU32() != kManifestMagic) {
+      return Status::Corruption("bad WAL manifest magic in " + manifest_path);
+    }
+    if (r.GetU32() != kFormatVersion) {
+      return Status::Corruption("unsupported WAL manifest version");
+    }
+    base_lsn_ = r.GetU64();
+    next_segment_id_ = r.GetU64();
+    const uint32_t n = r.GetU32();
+    for (uint32_t i = 0; i < n; ++i) listed_ids.push_back(r.GetU64());
+    if (r.failed) {
+      // The manifest is written atomically (temp + rename), so a truncated
+      // one is not a crash artifact — it is damage.
+      return Status::Corruption("truncated WAL manifest " + manifest_path);
+    }
+  }
+
+  // --- replay the chain --------------------------------------------------
+  Lsn prev_lsn = kInvalidLsn;  // last record validated (any segment)
+  size_t replayed = 0;
+  for (size_t seg_idx = 0; seg_idx < listed_ids.size(); ++seg_idx) {
+    const uint64_t id = listed_ids[seg_idx];
+    const bool is_last = seg_idx + 1 == listed_ids.size();
+    const std::string path = SegmentPath(options_.dir, id);
+    bool ok = false;
+    const std::string buf = ReadWholeFile(path, &ok);
+    if (!ok) {
+      return Status::Corruption("WAL manifest lists missing segment " + path);
+    }
+    if (buf.size() < kSegmentHeaderBytes) {
+      // The header is written and flushed at segment creation, before the
+      // manifest mentions the segment; a short header is real damage.
+      return Status::Corruption("segment " + path + " has a truncated header");
+    }
+    codec::Reader header{buf, 0, false};
+    if (header.GetU32() != kSegmentMagic ||
+        header.GetU32() != kFormatVersion || header.GetU64() != id) {
+      return Status::Corruption("segment " + path + " has a bad header");
+    }
+    (void)header.GetU64();  // first expected LSN; informational
+
+    Segment seg;
+    seg.id = id;
+    size_t offset = kSegmentHeaderBytes;
+    size_t valid_end = offset;
+    while (offset < buf.size()) {
+      if (buf.size() - offset >= 8) {
+        codec::Reader frame{buf, offset, false};
+        const uint32_t size = frame.GetU32();
+        const uint32_t checksum = frame.GetU32();
+        if (buf.size() - frame.pos >= size) {
+          const std::string_view payload(buf.data() + frame.pos, size);
+          if (FrameChecksum(payload) == checksum) {
+            size_t payload_offset = 0;
+            auto rec = LogRecord::Decode(payload, &payload_offset);
+            if (!rec.ok() || payload_offset != size) {
+              return Status::Corruption(
+                  "WAL segment " + path + " frame at offset " +
+                  std::to_string(offset) +
+                  " has a valid checksum but does not decode");
+            }
+            const Lsn lsn = rec->lsn;
+            if (prev_lsn != kInvalidLsn && lsn != prev_lsn + 1) {
+              return Status::Corruption(
+                  "WAL segment chain has an LSN gap: " +
+                  std::to_string(prev_lsn) + " -> " + std::to_string(lsn) +
+                  " in " + path);
+            }
+            prev_lsn = lsn;
+            if (seg.first_lsn == kInvalidLsn) seg.first_lsn = lsn;
+            seg.last_lsn = lsn;
+            seg.bytes += 8 + size;
+            offset = frame.pos + size;
+            valid_end = offset;
+            if (lsn >= base_lsn_) {
+              replay(std::move(rec).ValueOrDie());
+              replayed++;
+            }
+            continue;
+          }
+        }
+      }
+      // Torn frame. Only the chain's very tail may be torn (crash mid
+      // flush); the same artifact mid-chain means records are missing and
+      // replay must not continue past the hole.
+      if (!is_last) {
+        return Status::Corruption("torn frame mid-chain in WAL segment " +
+                                  path + " at offset " +
+                                  std::to_string(offset));
+      }
+      MORPH_COUNTER_INC("wal.segment.torn_tails");
+      std::filesystem::resize_file(path, valid_end, ec);
+      if (ec) {
+        return Status::IOError("cannot trim torn tail of " + path + ": " +
+                               ec.message());
+      }
+      break;
+    }
+    segments_.push_back(seg);
+  }
+
+  // Orphan segment files (created by a crash between file creation and the
+  // manifest rewrite) and stale temp files are garbage from a dead
+  // incarnation: remove them. Recycled pool files are picked up for reuse.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) == 0 &&
+        name.size() > 8 /* "seg-" + id + ".wal" */) {
+      const uint64_t id =
+          static_cast<uint64_t>(std::strtoull(name.c_str() + 4, nullptr, 10));
+      if (std::find(listed_ids.begin(), listed_ids.end(), id) ==
+          listed_ids.end()) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    } else if (name.rfind("recycle-", 0) == 0) {
+      pool_.push_back(entry.path().string());
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  std::sort(pool_.begin(), pool_.end());
+
+  // Appends resume in a fresh segment: reopening a recovered file in append
+  // mode would have to trust the trimmed tail exactly; a new segment costs
+  // one header and keeps the append path append-only.
+  const Lsn next_lsn = prev_lsn == kInvalidLsn ? base_lsn_ : prev_lsn + 1;
+  MORPH_RETURN_NOT_OK(OpenNewSegment(next_lsn));
+  MORPH_RETURN_NOT_OK(WriteManifest(base_lsn_));
+  open_ = true;
+  MORPH_COUNTER_ADD("wal.segment.replayed_records", replayed);
+  // a = records replayed, b = segments in the recovered chain.
+  MORPH_TRACE("wal.segment.open", static_cast<int64_t>(replayed),
+              static_cast<int64_t>(segments_.size()));
+  return base_lsn_;
+}
+
+Status SegmentedLog::OpenNewSegment(Lsn next_lsn) {
+  const uint64_t id = next_segment_id_++;
+  const std::string path = SegmentPath(options_.dir, id);
+  if (!pool_.empty()) {
+    // Reuse a recycled file: rename, then truncate via the open below.
+    std::error_code ec;
+    std::filesystem::rename(pool_.back(), path, ec);
+    if (!ec) {
+      pool_.pop_back();
+      reused_total_++;
+      MORPH_COUNTER_INC("wal.segment.reused");
+    }
+  }
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd_ < 0) return Status::IOError("cannot create WAL segment " + path);
+  std::string header;
+  codec::PutU32(&header, kSegmentMagic);
+  codec::PutU32(&header, kFormatVersion);
+  codec::PutU64(&header, id);
+  codec::PutU64(&header, next_lsn);
+  // The header is fsynced at creation, before the manifest can list the
+  // segment: recovery relies on every listed segment having a full header.
+  Status st = WriteFully(fd_, header.data(), header.size());
+  if (st.ok() && ::fsync(fd_) != 0) {
+    st = Status::IOError("fsync header of " + path + ": " +
+                         std::strerror(errno));
+  }
+  if (!st.ok()) {
+    CloseFdLocked();
+    return st;
+  }
+  Segment seg;
+  seg.id = id;
+  segments_.push_back(seg);
+  MORPH_COUNTER_INC("wal.segment.opened");
+  return Status::OK();
+}
+
+Status SegmentedLog::WriteManifest(Lsn base_lsn) {
+  std::string buf;
+  codec::PutU32(&buf, kManifestMagic);
+  codec::PutU32(&buf, kFormatVersion);
+  codec::PutU64(&buf, base_lsn);
+  codec::PutU64(&buf, next_segment_id_);
+  codec::PutU32(&buf, static_cast<uint32_t>(segments_.size()));
+  for (const Segment& seg : segments_) codec::PutU64(&buf, seg.id);
+  return AtomicWriteFile(ManifestPath(options_.dir), buf);
+}
+
+Status SegmentedLog::Append(Lsn lsn, std::string_view frame) {
+  std::lock_guard lock(mu_);
+  if (!open_) return Status::Internal("SegmentedLog not open");
+  Segment* cur = &segments_.back();
+  if (cur->bytes > 0 && cur->bytes + frame.size() > options_.segment_bytes) {
+    // Rotate: make the outgoing segment fully durable, then open its
+    // successor. A crash at the failpoint leaves the closed segment as the
+    // chain's tail — complete and flushed — and the manifest unchanged.
+    MORPH_RETURN_NOT_OK(FlushLocked());
+    CloseFdLocked();
+    MORPH_FAILPOINT("wal.segment.rotate");
+    MORPH_COUNTER_INC("wal.segment.rotations");
+    // a = id of the closed segment, b = its last LSN.
+    MORPH_TRACE("wal.segment.rotate", static_cast<int64_t>(cur->id),
+                static_cast<int64_t>(cur->last_lsn));
+    MORPH_RETURN_NOT_OK(OpenNewSegment(lsn));
+    MORPH_RETURN_NOT_OK(WriteManifest(base_lsn_));
+    cur = &segments_.back();
+  }
+  staged_ += frame;
+  cur->bytes += frame.size();
+  if (cur->first_lsn == kInvalidLsn) cur->first_lsn = lsn;
+  cur->last_lsn = lsn;
+  return Status::OK();
+}
+
+Status SegmentedLog::FlushLocked() {
+  if (staged_.empty()) return Status::OK();
+  MORPH_RETURN_NOT_OK(WriteFully(fd_, staged_.data(), staged_.size()));
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync WAL segment " +
+                           std::to_string(segments_.back().id) + ": " +
+                           std::strerror(errno));
+  }
+  staged_.clear();
+  return Status::OK();
+}
+
+void SegmentedLog::Abandon() {
+  std::lock_guard lock(mu_);
+  staged_.clear();
+  CloseFdLocked();
+  open_ = false;
+}
+
+Status SegmentedLog::Flush() {
+  std::lock_guard lock(mu_);
+  if (!open_) return Status::Internal("SegmentedLog not open");
+  return FlushLocked();
+}
+
+Status SegmentedLog::RecycleBefore(Lsn keep_from) {
+  std::lock_guard lock(mu_);
+  if (!open_) return Status::Internal("SegmentedLog not open");
+  if (keep_from <= base_lsn_) return Status::OK();
+  base_lsn_ = keep_from;
+  // Victims: the longest prefix of *closed* segments that lie entirely
+  // below the new base. The open segment is never recycled.
+  std::vector<Segment> victims;
+  while (segments_.size() > 1) {
+    const Segment& seg = segments_.front();
+    if (seg.last_lsn == kInvalidLsn || seg.last_lsn >= keep_from) break;
+    victims.push_back(seg);
+    segments_.pop_front();
+  }
+  MORPH_FAILPOINT("wal.segment.recycle");
+  // Manifest first: once it no longer lists a victim, a crash between the
+  // rewrite and the renames below only leaves orphan files that the next
+  // Open sweeps up.
+  MORPH_RETURN_NOT_OK(WriteManifest(base_lsn_));
+  std::error_code ec;
+  for (const Segment& seg : victims) {
+    const std::string path = SegmentPath(options_.dir, seg.id);
+    if (pool_.size() < options_.recycle_pool_max) {
+      const std::string pooled =
+          options_.dir + "/recycle-" + std::to_string(seg.id) + ".pool";
+      std::filesystem::rename(path, pooled, ec);
+      if (!ec) pool_.push_back(pooled);
+    } else {
+      std::filesystem::remove(path, ec);
+    }
+    recycled_total_++;
+    MORPH_COUNTER_INC("wal.segment.recycled");
+    // a = recycled segment id, b = new base LSN.
+    MORPH_TRACE("wal.segment.recycle", static_cast<int64_t>(seg.id),
+                static_cast<int64_t>(keep_from));
+  }
+  return Status::OK();
+}
+
+size_t SegmentedLog::num_segments() const {
+  std::lock_guard lock(mu_);
+  return segments_.size();
+}
+
+size_t SegmentedLog::pool_size() const {
+  std::lock_guard lock(mu_);
+  return pool_.size();
+}
+
+}  // namespace morph::wal

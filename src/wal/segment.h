@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wal/log_record.h"
+
+namespace morph::wal {
+
+/// FNV-1a over a record's encoded payload. The on-disk framing stores it so
+/// a torn or corrupted tail is detected instead of decoded as garbage.
+/// Shared by the whole-log snapshot format (Wal::SaveToFile) and the
+/// segmented backend below — both use the same [size][fnv1a][payload] frame.
+uint32_t FrameChecksum(std::string_view data);
+
+/// Appends one framed record ([u32 payload size][u32 FNV-1a][payload]) to
+/// `out`.
+void AppendFrame(std::string* out, const LogRecord& rec);
+
+/// \brief Disk-backed segmented log chain: the durable backend behind `Wal`.
+///
+/// Layout of the directory:
+///
+///   wal.manifest            base LSN + ordered segment list (atomic rename)
+///   seg-<id>.wal            framed records, ascending contiguous LSNs
+///   recycle-<k>.pool        closed segments kept for file reuse
+///
+/// Each segment file starts with a fixed header (magic, version, segment id,
+/// first LSN) followed by `[size][fnv1a][payload]` frames — the same framing
+/// the whole-log snapshot format uses, so torn tails are detected the same
+/// way. Records never span segments: a record that would overflow the size
+/// threshold closes the current segment and opens the next one.
+///
+/// Recovery contract (ARIES tail discipline): a torn or checksum-failing
+/// frame is tolerated only at the end of the *last* segment — the expected
+/// artifact of a crash mid-flush — and the file is truncated back to the
+/// last valid frame so the next incarnation appends after a clean tail.
+/// The same damage anywhere else in the chain means the middle of the log
+/// is gone and replay past it would silently drop committed work, so it is
+/// reported as Corruption, never skipped. A checksum-valid frame that fails
+/// to decode is a writer bug and is Corruption wherever it appears.
+///
+/// Thread safety: all methods take an internal mutex. Append/Flush are
+/// expected to be driven by one writer (the group-commit thread or an
+/// inline synchronous appender); RecycleBefore runs on whatever thread the
+/// log janitor uses.
+class SegmentedLog {
+ public:
+  struct Options {
+    std::string dir;
+    /// Rotation threshold: a segment is closed once its payload bytes reach
+    /// this. Small values are useful in tests to force multi-segment chains.
+    size_t segment_bytes = 256 * 1024;
+    /// Closed segments recycled below the retention floor are renamed into a
+    /// reuse pool of at most this many files (the rest are deleted), so a
+    /// steady-state log rotates through preallocated names instead of
+    /// creating files forever.
+    size_t recycle_pool_max = 4;
+  };
+
+  SegmentedLog() = default;
+  ~SegmentedLog();
+  SegmentedLog(const SegmentedLog&) = delete;
+  SegmentedLog& operator=(const SegmentedLog&) = delete;
+
+  /// \brief Opens (or creates) the chain in `options.dir` and replays every
+  /// record with lsn >= the manifest's base LSN, in LSN order, into
+  /// `replay`. Returns the manifest's base LSN — the `Wal` facade adopts it
+  /// as `base_lsn_` even when the chain holds no records, which is what
+  /// keeps LSNs monotone across a restart of a fully truncated log.
+  /// After Open the log is positioned to append into a fresh segment.
+  Result<Lsn> Open(const Options& options,
+                   const std::function<void(LogRecord&&)>& replay);
+
+  /// \brief Stages one framed record for the current segment, rotating
+  /// first when the segment is full (failpoint `wal.segment.rotate` fires
+  /// between closing the old segment and creating its successor). Staged
+  /// bytes live in a process-local buffer until Flush — a crash discards
+  /// them, exactly like an OS page cache losing unsynced writes.
+  Status Append(Lsn lsn, std::string_view frame);
+
+  /// \brief Writes every staged byte to the current segment file and
+  /// fsyncs it: the durability barrier group commit amortizes.
+  Status Flush();
+
+  /// \brief Simulated process death: discards staged-but-unflushed bytes
+  /// and closes the open file without writing them. Further Append/Flush
+  /// calls fail. The on-disk chain is left exactly as a crash would.
+  void Abandon();
+
+  /// \brief Recycles closed segments whose records all lie below
+  /// `keep_from`, and persists `keep_from` as the new manifest base LSN.
+  /// The currently open segment is never recycled. Failpoint
+  /// `wal.segment.recycle` fires before the manifest rewrite.
+  Status RecycleBefore(Lsn keep_from);
+
+  /// Introspection (tests, metrics).
+  size_t num_segments() const;
+  size_t pool_size() const;
+  uint64_t segments_recycled() const { return recycled_total_; }
+  uint64_t segments_reused() const { return reused_total_; }
+  const std::string& dir() const { return options_.dir; }
+
+  static std::string ManifestPath(const std::string& dir);
+  static std::string SegmentPath(const std::string& dir, uint64_t id);
+
+ private:
+  struct Segment {
+    uint64_t id = 0;
+    Lsn first_lsn = kInvalidLsn;  ///< first record, kInvalidLsn while empty
+    Lsn last_lsn = kInvalidLsn;   ///< last record staged or written
+    uint64_t bytes = 0;           ///< payload bytes staged + written
+  };
+
+  Status WriteManifest(Lsn base_lsn);  // callers hold mu_
+  Status OpenNewSegment(Lsn next_lsn);  // callers hold mu_; sets fd_
+  Status FlushLocked();
+  void CloseFdLocked();
+
+  mutable std::mutex mu_;
+  Options options_;
+  bool open_ = false;
+  Lsn base_lsn_ = 1;
+  uint64_t next_segment_id_ = 1;
+  std::deque<Segment> segments_;  ///< ascending; back() is the open one
+  int fd_ = -1;                   ///< fd of the open segment (raw, for fsync)
+  std::string staged_;            ///< bytes appended since the last Flush
+  std::vector<std::string> pool_;  ///< recycled file paths available for reuse
+  uint64_t recycled_total_ = 0;
+  uint64_t reused_total_ = 0;
+};
+
+}  // namespace morph::wal

@@ -1,43 +1,134 @@
 #include "wal/wal.h"
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <system_error>
 
 #include "common/codec.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "wal/segment.h"
+#include "wal/wal_writer.h"
 
 namespace morph::wal {
 
 namespace {
 
-/// FNV-1a over a record's encoded payload. The on-disk framing stores it so
-/// a torn or corrupted tail is detected instead of decoded as garbage.
-uint32_t Fnv1a(std::string_view data) {
-  uint32_t h = 2166136261u;
-  for (const char c : data) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 16777619u;
-  }
-  return h;
-}
+/// Header of the whole-log snapshot format: [magic][version][base LSN].
+/// The base LSN is what makes an empty or fully truncated log round-trip
+/// without resetting its LSN space (re-issuing consumed LSNs would corrupt
+/// every consumer that keys state by LSN, e.g. propagated_lsn bookkeeping).
+constexpr uint32_t kWalFileMagic = 0x4d57414c;  // "MWAL"
+constexpr uint32_t kWalFileVersion = 1;
+constexpr size_t kWalFileHeaderBytes = 4 + 4 + 8;
 
 }  // namespace
+
+// Out of line: the inline-defaulted special members would need the complete
+// SegmentedLog/GroupCommitWriter types in every includer.
+Wal::Wal() = default;
+
+Wal::~Wal() {
+  // Clean shutdown drains the group-commit pipeline; a simulated crash goes
+  // through SimulateCrash() first, which abandons instead of draining.
+  if (writer_) writer_->Stop();
+}
+
+Status Wal::OpenDurable(const WalOptions& options) {
+  Lsn last_replayed = kInvalidLsn;
+  {
+    std::unique_lock lock(mu_);
+    if (segmented_) {
+      return Status::InvalidArgument("Wal is already durable");
+    }
+    if (!records_.empty() || base_lsn_ != 1) {
+      return Status::InvalidArgument("OpenDurable requires a fresh Wal");
+    }
+    segmented_ = std::make_unique<SegmentedLog>();
+    SegmentedLog::Options sopts;
+    sopts.dir = options.dir;
+    sopts.segment_bytes = options.segment_bytes;
+    sopts.recycle_pool_max = options.recycle_pool_max;
+    auto base = segmented_->Open(
+        sopts, [this](LogRecord&& rec) { records_.push_back(std::move(rec)); });
+    if (!base.ok()) {
+      segmented_.reset();
+      return base.status();
+    }
+    base_lsn_ = *base;
+    if (!records_.empty() && records_.front().lsn != base_lsn_) {
+      Status st = Status::Corruption(
+          "segment chain starts at LSN " +
+          std::to_string(records_.front().lsn) + ", manifest base is " +
+          std::to_string(base_lsn_));
+      records_.clear();
+      base_lsn_ = 1;
+      segmented_.reset();
+      return st;
+    }
+    last_replayed =
+        records_.empty() ? base_lsn_ - 1 : records_.back().lsn;
+  }
+  // Everything replayed is durable by definition; the writer's horizon
+  // starts there so Sync on recovered records returns immediately.
+  writer_ = std::make_unique<GroupCommitWriter>(segmented_.get());
+  writer_->Start(last_replayed);
+  // The durability pin: truncation must never advance the (persisted) base
+  // past a record that has not been flushed — after a crash the chain would
+  // claim base > durable tail and the gap would look like corruption.
+  durability_pin_id_ = AddRetentionPin(
+      [w = writer_.get()] { return w->durable_lsn() + 1; });
+  return Status::OK();
+}
 
 Lsn Wal::Append(LogRecord rec) {
   MORPH_FAILPOINT_VOID("wal.append");
   MORPH_COUNTER_INC("wal.appends");
-  std::unique_lock lock(mu_);
-  const Lsn lsn = base_lsn_ + records_.size();
-  rec.lsn = lsn;
-  records_.push_back(std::move(rec));
+  Lsn lsn = kInvalidLsn;
+  {
+    std::unique_lock lock(mu_);
+    lsn = base_lsn_ + records_.size();
+    rec.lsn = lsn;
+    if (segmented_) {
+      std::string frame;
+      AppendFrame(&frame, rec);
+      Status st = segmented_->Append(lsn, frame);
+      if (!st.ok() && append_error_.ok()) append_error_ = st;
+    }
+    records_.push_back(std::move(rec));
+  }
+  // Publish outside the log lock: the writer thread takes its own mutex and
+  // must never be awaited while an appender holds mu_.
+  if (writer_) writer_->Publish(lsn);
   return lsn;
+}
+
+Status Wal::Sync(Lsn lsn) {
+  {
+    std::shared_lock lock(mu_);
+    if (!append_error_.ok()) return append_error_;
+  }
+  if (!writer_) return Status::OK();
+  return writer_->WaitDurable(lsn);
+}
+
+Lsn Wal::durable_lsn() const {
+  if (writer_) return writer_->durable_lsn();
+  return LastLsn();
+}
+
+void Wal::SimulateCrash() {
+  if (writer_) writer_->Abandon();
+  if (segmented_) segmented_->Abandon();
 }
 
 Lsn Wal::LastLsn() const {
   std::shared_lock lock(mu_);
+  // base_lsn_ - 1 is the last *assigned* LSN even when the deque is empty:
+  // kInvalidLsn (0) for a brand-new log, the pre-truncation tail otherwise.
   return base_lsn_ + records_.size() - 1;
 }
 
@@ -80,6 +171,40 @@ Lsn Wal::Scan(Lsn from, Lsn to,
   return last;
 }
 
+Result<Lsn> Wal::ScanChecked(
+    Lsn from, Lsn to, const std::function<void(const LogRecord&)>& fn) const {
+  if (from == kInvalidLsn) {
+    return Status::InvalidArgument("ScanChecked from kInvalidLsn");
+  }
+  Lsn last = kInvalidLsn;
+  constexpr size_t kChunk = 128;
+  Lsn next = from;
+  while (next <= to) {
+    std::shared_lock lock(mu_);
+    // The gap check runs per chunk, not once: truncation can race past the
+    // resume point between lock drops, and continuing from FirstLsn() would
+    // silently skip records — the exact lost-update hazard this variant
+    // exists to surface.
+    if (next < base_lsn_) {
+      MORPH_COUNTER_INC("wal.scan_gap_detected");
+      return Status::Corruption(
+          "WAL gap: scan resume point " + std::to_string(next) +
+          " was truncated away (log now starts at " +
+          std::to_string(base_lsn_) + ")");
+    }
+    if (records_.empty()) break;
+    const Lsn end = std::min<Lsn>(to, base_lsn_ + records_.size() - 1);
+    if (next > end) break;
+    const Lsn stop = std::min<Lsn>(end, next + kChunk - 1);
+    for (Lsn l = next; l <= stop; ++l) {
+      fn(records_[l - base_lsn_]);
+      last = l;
+    }
+    next = stop + 1;
+  }
+  return last;
+}
+
 Lsn Wal::ScanInto(Lsn from, Lsn to, size_t max_records,
                   std::vector<LogRecord>* out) const {
   std::shared_lock lock(mu_);
@@ -89,6 +214,29 @@ Lsn Wal::ScanInto(Lsn from, Lsn to, size_t max_records,
   if (next > end) return kInvalidLsn;
   const Lsn stop = std::min<Lsn>(end, next + max_records - 1);
   for (Lsn l = next; l <= stop; ++l) {
+    out->push_back(records_[l - base_lsn_]);
+  }
+  return stop;
+}
+
+Result<Lsn> Wal::ScanIntoChecked(Lsn from, Lsn to, size_t max_records,
+                                 std::vector<LogRecord>* out) const {
+  if (from == kInvalidLsn) {
+    return Status::InvalidArgument("ScanIntoChecked from kInvalidLsn");
+  }
+  std::shared_lock lock(mu_);
+  if (from < base_lsn_) {
+    MORPH_COUNTER_INC("wal.scan_gap_detected");
+    return Status::Corruption(
+        "WAL gap: scan start " + std::to_string(from) +
+        " was truncated away (log now starts at " +
+        std::to_string(base_lsn_) + ")");
+  }
+  if (records_.empty() || max_records == 0) return kInvalidLsn;
+  const Lsn end = std::min<Lsn>(to, base_lsn_ + records_.size() - 1);
+  if (from > end) return kInvalidLsn;
+  const Lsn stop = std::min<Lsn>(end, from + max_records - 1);
+  for (Lsn l = from; l <= stop; ++l) {
     out->push_back(records_[l - base_lsn_]);
   }
   return stop;
@@ -128,6 +276,14 @@ void Wal::TruncateBefore(Lsn keep_from) {
     base_lsn_ += n;
     dropped = n;
   }
+  if (segmented_) {
+    // Segment GC: the durability pin above already clamped keep_from at the
+    // flush horizon, so the persisted base can never pass an unflushed
+    // record. Errors are recorded, not returned — truncation is advisory
+    // and the worst case is segments lingering until the next pass.
+    const Status st = segmented_->RecycleBefore(keep_from);
+    if (!st.ok()) MORPH_COUNTER_INC("wal.recycle_errors");
+  }
   MORPH_COUNTER_ADD("wal.records_truncated", dropped);
   // a = new first LSN, b = records dropped.
   MORPH_TRACE("wal.truncate", static_cast<int64_t>(keep_from),
@@ -155,25 +311,38 @@ Status Wal::SaveToFile(const std::string& path) const {
   MORPH_FAILPOINT("wal.save");
   MORPH_COUNTER_INC("wal.saves");
   const auto save_start = std::chrono::steady_clock::now();
-  // Each record is framed as [u32 payload size][u32 FNV-1a checksum][payload]
-  // so a reader can tell a torn tail (the common crash artifact) from valid
-  // data without trusting the payload codec to fail on garbage.
+  // Header (persisting the base LSN), then each record framed as
+  // [u32 payload size][u32 FNV-1a checksum][payload] so a reader can tell a
+  // torn tail (the common crash artifact) from valid data without trusting
+  // the payload codec to fail on garbage.
   std::string buf;
   {
     std::shared_lock lock(mu_);
-    std::string payload;
+    codec::PutU32(&buf, kWalFileMagic);
+    codec::PutU32(&buf, kWalFileVersion);
+    codec::PutU64(&buf, base_lsn_);
     for (const LogRecord& rec : records_) {
-      payload.clear();
-      rec.EncodeTo(&payload);
-      codec::PutU32(&buf, static_cast<uint32_t>(payload.size()));
-      codec::PutU32(&buf, Fnv1a(payload));
-      buf += payload;
+      AppendFrame(&buf, rec);
     }
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out) return Status::IOError("short write to " + path);
+  // Write-temp + flush + rename: the previous good file survives any crash
+  // up to (and including) the rename window; readers only ever see either
+  // the complete old file or the complete new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.flush();
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  MORPH_FAILPOINT("wal.save.before_rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
   const int64_t save_nanos =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - save_start)
@@ -187,12 +356,39 @@ Status Wal::SaveToFile(const std::string& path) const {
 Status Wal::LoadFromFile(const std::string& path) {
   MORPH_FAILPOINT("wal.load");
   MORPH_COUNTER_INC("wal.loads");
+  if (durable()) {
+    return Status::InvalidArgument(
+        "LoadFromFile would bypass the segmented backend of a durable Wal");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path + " for reading");
   std::string buf((std::istreambuf_iterator<char>(in)),
                   std::istreambuf_iterator<char>());
-  std::deque<LogRecord> records;
+
+  // Header: current files persist the base LSN; legacy files start straight
+  // at the first frame. A file shorter than a full header (or with a torn
+  // header) loads as an empty log — same torn-tail tolerance as frames.
+  Lsn header_base = kInvalidLsn;
   size_t offset = 0;
+  if (buf.size() >= 4) {
+    codec::Reader probe{buf, 0, false};
+    if (probe.GetU32() == kWalFileMagic) {
+      if (buf.size() < kWalFileHeaderBytes) {
+        // Torn mid-header: nothing usable follows.
+        std::unique_lock lock(mu_);
+        records_.clear();
+        base_lsn_ = 1;
+        return Status::OK();
+      }
+      if (probe.GetU32() != kWalFileVersion) {
+        return Status::Corruption("unsupported WAL file version in " + path);
+      }
+      header_base = probe.GetU64();
+      offset = kWalFileHeaderBytes;
+    }
+  }
+
+  std::deque<LogRecord> records;
   while (offset < buf.size()) {
     // Frame header: a short or checksum-mismatched frame is a torn/corrupt
     // tail — stop there and keep the valid prefix, exactly what ARIES-style
@@ -205,7 +401,7 @@ Status Wal::LoadFromFile(const std::string& path) {
     const uint32_t checksum = reader.GetU32();
     if (buf.size() - reader.pos < size) break;
     const std::string_view payload(buf.data() + reader.pos, size);
-    if (Fnv1a(payload) != checksum) break;
+    if (FrameChecksum(payload) != checksum) break;
     size_t payload_offset = 0;
     auto rec = LogRecord::Decode(payload, &payload_offset);
     if (!rec.ok() || payload_offset != size) {
@@ -220,7 +416,15 @@ Status Wal::LoadFromFile(const std::string& path) {
   }
   std::unique_lock lock(mu_);
   records_ = std::move(records);
-  base_lsn_ = records_.empty() ? 1 : records_.front().lsn;
+  if (!records_.empty()) {
+    base_lsn_ = records_.front().lsn;
+  } else if (header_base != kInvalidLsn) {
+    // Empty log with a header: adopt the persisted base so the next Append
+    // continues the LSN space instead of re-issuing consumed LSNs.
+    base_lsn_ = header_base;
+  } else {
+    base_lsn_ = 1;
+  }
   return Status::OK();
 }
 

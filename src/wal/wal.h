@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -15,6 +16,24 @@
 
 namespace morph::wal {
 
+class SegmentedLog;
+class GroupCommitWriter;
+
+/// \brief Configuration for the durable (disk-backed) WAL mode.
+///
+/// The default-constructed Wal is purely in-memory — the paper prototype's
+/// configuration and the default for unit tests. Calling Wal::OpenDurable
+/// with a directory attaches a SegmentedLog backend: every append is framed
+/// into fixed-size segment files, a group-commit writer thread batches
+/// flushes, and the chain survives process death.
+struct WalOptions {
+  std::string dir;
+  /// Segment rotation threshold in payload bytes.
+  size_t segment_bytes = 256 * 1024;
+  /// Max recycled segment files kept for reuse.
+  size_t recycle_pool_max = 4;
+};
+
 /// \brief The write-ahead log.
 ///
 /// An append-only, totally ordered sequence of LogRecords. Appends assign
@@ -24,22 +43,57 @@ namespace morph::wal {
 /// read side exposes random access by LSN plus range scans that a background
 /// propagator can issue while writers keep appending.
 ///
-/// Thread safety: all methods are safe to call concurrently.
+/// Thread safety: all methods are safe to call concurrently, except
+/// OpenDurable / LoadFromFile / SimulateCrash which are setup/teardown-time
+/// and require external quiescence.
 ///
-/// Durability: the engine is main-memory (like the paper's prototype), but
-/// the full log can be serialized to a file and reloaded, which is what the
-/// restart-recovery path and its tests use.
+/// Durability comes in two flavors:
+///  - whole-log snapshots (SaveToFile / LoadFromFile), what the in-memory
+///    crash tests use to model "the WAL is the only surviving state";
+///  - the segmented backend (OpenDurable): appends stream into segment
+///    files, Sync() blocks on the group-commit durable horizon, truncation
+///    recycles whole segments, and the next incarnation replays the chain.
 class Wal {
  public:
-  Wal() = default;
+  Wal();
+  ~Wal();
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
+  /// \brief Attaches a SegmentedLog backend rooted at `options.dir`,
+  /// replaying any existing chain into memory (the in-memory deque remains
+  /// the read path; segments are the durability path). Must be called on a
+  /// fresh Wal before any append. Adopts the chain's persisted base LSN even
+  /// when no records survive — a fully truncated log must not re-issue LSNs.
+  /// Starts the group-commit writer and registers an internal retention pin
+  /// at the durable horizon so truncation can never discard a record that
+  /// has not been flushed yet.
+  Status OpenDurable(const WalOptions& options);
+
+  /// \brief True when a segmented backend is attached.
+  bool durable() const { return segmented_ != nullptr; }
+
   /// \brief Appends a record; assigns and returns its LSN (also stored into
-  /// `rec->lsn`).
+  /// `rec->lsn`). In durable mode the record's frame is staged for the
+  /// group-commit writer; durability is only guaranteed after Sync.
   Lsn Append(LogRecord rec);
 
-  /// \brief LSN of the last appended record; kInvalidLsn when empty.
+  /// \brief Blocks until `lsn` is durable. In-memory mode: a no-op (the
+  /// in-memory model treats every append as instantly durable). Durable
+  /// mode: waits for the group-commit writer's flush horizon to pass `lsn`,
+  /// surfacing any writer-side I/O error or injected fault.
+  Status Sync(Lsn lsn);
+
+  /// \brief Highest durable LSN: LastLsn() in in-memory mode, the
+  /// group-commit flush horizon in durable mode.
+  Lsn durable_lsn() const;
+
+  /// \brief LSN of the last *assigned* record. Returns kInvalidLsn only when
+  /// no LSN was ever assigned (brand-new log). After truncation — even full
+  /// truncation that empties the log — this keeps returning the last
+  /// assigned LSN (== FirstLsn()-1 when empty), NOT kInvalidLsn: callers
+  /// like the checkpointer use it as a guard horizon and a reset to
+  /// kInvalidLsn would re-admit already-consumed LSNs.
   Lsn LastLsn() const;
 
   /// \brief Number of records in the log.
@@ -52,6 +106,10 @@ class Wal {
   /// order. `to` may exceed LastLsn(); the scan stops at the current end.
   /// Returns the last LSN visited (kInvalidLsn if none).
   ///
+  /// If truncation has raced past `from`, the scan starts at FirstLsn()
+  /// instead — the dropped range is silently skipped. Readers that must not
+  /// lose records (the propagator) use ScanChecked.
+  ///
   /// Zero-copy: `fn` receives a reference into the log, valid only for the
   /// duration of the call, and runs while a shared lock on the log is held
   /// (released every few records so appenders make progress). `fn` must
@@ -59,9 +117,18 @@ class Wal {
   /// scanner, never does: propagation writes tables, not log records.
   Lsn Scan(Lsn from, Lsn to, const std::function<void(const LogRecord&)>& fn) const;
 
+  /// \brief Like Scan, but a gap is an error: if `from` (or the resume point
+  /// of any chunk) has been truncated away, returns Corruption instead of
+  /// silently skipping — the lost-update hazard retention pins exist to
+  /// prevent, now detectable by the reader. Returns the last LSN visited
+  /// (kInvalidLsn if the range is empty).
+  Result<Lsn> ScanChecked(Lsn from, Lsn to,
+                          const std::function<void(const LogRecord&)>& fn) const;
+
   /// \brief Copies up to `max_records` records with `from <= lsn <= to` into
   /// `out` (appended), in LSN order, under a single shared-lock acquisition.
-  /// Returns the last LSN copied (kInvalidLsn if none).
+  /// Returns the last LSN copied (kInvalidLsn if none). Like Scan, silently
+  /// starts at FirstLsn() when `from` has been truncated away.
   ///
   /// This is the batched read the parallel log propagator uses: the reader
   /// stage copies one bounded chunk out and releases the lock before handing
@@ -70,8 +137,16 @@ class Wal {
   Lsn ScanInto(Lsn from, Lsn to, size_t max_records,
                std::vector<LogRecord>* out) const;
 
+  /// \brief Like ScanInto, but returns Corruption when `from` has been
+  /// truncated away instead of skipping the gap.
+  Result<Lsn> ScanIntoChecked(Lsn from, Lsn to, size_t max_records,
+                              std::vector<LogRecord>* out) const;
+
   /// \brief Discards records with lsn < `keep_from` (log archiving /
   /// checkpoint truncation). At()/Scan() treat the dropped range as absent.
+  /// In durable mode, closed segments whose records all fall below the
+  /// (clamped) floor are recycled and the floor is persisted as the chain's
+  /// base LSN.
   ///
   /// `keep_from` is clamped below every registered retention pin (see
   /// AddRetentionPin), so a checkpointer or log janitor that computes its
@@ -96,9 +171,14 @@ class Wal {
   /// or LastLsn()+1 for an empty/new log).
   Lsn FirstLsn() const;
 
-  /// \brief Serializes the whole (untruncated) log to `path` (overwrites).
-  /// Records are framed with a length prefix and a checksum so a reader can
-  /// detect torn or corrupted tails.
+  /// \brief Serializes the whole (untruncated) log to `path`, atomically:
+  /// the bytes go to a temp file which is renamed over `path` only after a
+  /// complete flush, so a crash mid-save leaves the previous file intact
+  /// (failpoint `wal.save.before_rename` sits in that window). The file
+  /// carries a header persisting the base LSN — an empty or fully truncated
+  /// log round-trips without resetting its LSN space — followed by records
+  /// framed with a length prefix and checksum so a reader can detect torn
+  /// or corrupted tails.
   Status SaveToFile(const std::string& path) const;
 
   /// \brief Replaces this log's contents with the records in `path`.
@@ -106,14 +186,35 @@ class Wal {
   /// load at the last valid record (the prefix is kept, the tail discarded),
   /// matching what restart recovery expects after a crash mid-write. Only a
   /// frame that passes its checksum yet fails to decode is reported as
-  /// Corruption.
+  /// Corruption. Accepts both the current (headered) format and the legacy
+  /// headerless format. Not available in durable mode.
   Status LoadFromFile(const std::string& path);
+
+  /// \brief Simulates process death for the durable backend: the
+  /// group-commit writer is joined WITHOUT a final flush and staged bytes
+  /// are discarded, exactly as a real crash would lose unsynced writes. The
+  /// crash-matrix harness calls this after catching CrashException so the
+  /// dead incarnation's destructor cannot leak "lost" bytes to disk.
+  /// No-op for an in-memory log.
+  void SimulateCrash();
+
+  /// \brief The segmented backend, for tests and metrics (nullptr when
+  /// in-memory).
+  const SegmentedLog* segmented_log() const { return segmented_.get(); }
 
  private:
   mutable std::shared_mutex mu_;
   /// LSN of records_[0]; grows when the prefix is truncated.
   Lsn base_lsn_ = 1;
   std::deque<LogRecord> records_;
+  /// First error from staging frames into the segmented backend; surfaced
+  /// by Sync (Append cannot return a Status).
+  Status append_error_;
+
+  /// Durable mode (null in the default in-memory configuration).
+  std::unique_ptr<SegmentedLog> segmented_;
+  std::unique_ptr<GroupCommitWriter> writer_;
+  uint64_t durability_pin_id_ = 0;
 
   /// Retention pins, under their own lock so registering/evaluating a pin
   /// never contends with the append path.

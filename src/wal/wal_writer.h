@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/segment.h"
+
+namespace morph::wal {
+
+/// \brief Group-commit writer: one background thread that turns many
+/// concurrent appends into few segment flushes.
+///
+/// Appenders stage frames into the SegmentedLog (cheap, in-memory), then
+/// Publish() the highest LSN they staged. Committers block in WaitDurable()
+/// until the writer has flushed past their commit record. The writer wakes,
+/// snapshots the published horizon, performs ONE Flush() covering every
+/// record staged so far, and advances the durable horizon — so a flush that
+/// takes one disk round-trip absorbs every commit that arrived while the
+/// previous flush was in flight (classic group commit).
+///
+/// Failure semantics: the failpoint `wal.group_commit.flush` is evaluated on
+/// the writer thread before each flush. A crash action (CrashException) or
+/// an I/O failure marks the writer dead; records at or below the durable
+/// horizon stay durable, and every current and future WaitDurable beyond it
+/// observes the failure — a crash is rethrown on the waiter's thread so the
+/// harness's Database-boundary catch sees the simulated process death.
+class GroupCommitWriter {
+ public:
+  explicit GroupCommitWriter(SegmentedLog* log) : log_(log) {}
+  ~GroupCommitWriter();
+  GroupCommitWriter(const GroupCommitWriter&) = delete;
+  GroupCommitWriter& operator=(const GroupCommitWriter&) = delete;
+
+  /// \brief Starts the writer with both horizons seeded at
+  /// `initial_durable` — after recovery, every replayed record is already
+  /// durable and Sync on it must not wait.
+  void Start(Lsn initial_durable = 0);
+  /// \brief Drains published work with a final flush, then joins the thread.
+  void Stop();
+  /// \brief Joins the thread WITHOUT flushing pending work — the simulated
+  /// process death path. Staged-but-unflushed records stay lost, exactly as
+  /// a real crash would lose them.
+  void Abandon();
+
+  /// \brief Tells the writer that frames up to `lsn` are staged. Callers
+  /// must NOT hold the Wal mutex: the writer takes its own lock here and
+  /// reads nothing from the Wal.
+  void Publish(Lsn lsn);
+
+  /// \brief Blocks until `lsn` is durable. Returns the writer's terminal
+  /// Status if it died first (rethrowing CrashException for crash
+  /// failpoints); records below an already-advanced horizon succeed even
+  /// after death.
+  Status WaitDurable(Lsn lsn);
+
+  Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
+
+ private:
+  void Run();
+
+  SegmentedLog* log_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< writer waits for published work
+  std::condition_variable done_cv_;  ///< committers wait for durability
+  Lsn published_ = 0;                ///< highest LSN staged (under mu_)
+  std::atomic<Lsn> durable_lsn_{0};
+  bool started_ = false;
+  bool stop_ = false;
+  bool abandon_ = false;
+  bool dead_ = false;
+  Status death_status_;        ///< terminal error when dead_ (under mu_)
+  std::exception_ptr crash_;   ///< CrashException from the writer thread
+};
+
+}  // namespace morph::wal

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <future>
 #include <map>
@@ -535,6 +536,189 @@ TEST(CrashMatrixTest, VSplitNonBlockingAbortParallelPopulate) {
 TEST(CrashMatrixTest, HSplitNonBlockingAbortParallelPopulate) {
   RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort,
                /*workers=*/0, /*populate_workers=*/3);
+}
+
+// --- durable segmented-WAL cells ---------------------------------------------
+//
+// Same recovery contract, different durability substrate: the WAL lives in an
+// on-disk segment chain written by the group-commit thread, and the "crash"
+// is SimulateCrash(), which discards every byte staged but not yet flushed —
+// exactly what a process death would leave behind. The crash sites are the
+// WAL's own: segment rotation (fires mid-Append on whatever thread is
+// logging) and the group-commit flush (fires on the writer thread and
+// surfaces through Sync on whatever thread is committing). Because a commit
+// whose Sync threw may or may not have reached the disk first, the oracle is
+// three-valued per key: a commit whose Sync returned OK must survive, a key
+// never committed must be rolled back, and the in-flight commit is accepted
+// in either state.
+void RunDurableCrashCell(const Scenario& sc, const std::string& site) {
+  SCOPED_TRACE(sc.name + " / durable crash at " + site);
+  auto& fps = Failpoints::Instance();
+  fps.DisableAll();
+  fps.ResetCounters();
+
+  std::string dir =
+      ::testing::TempDir() + "/morph_durable_" + sc.name + "_" + site;
+  for (char& c : dir) {
+    if (c == '.') c = '_';
+  }
+  std::filesystem::remove_all(dir);
+
+  wal::WalOptions wopts;
+  wopts.dir = dir;
+  wopts.segment_bytes = 1024;  // a handful of records per segment
+
+  enum class Fate { kOld, kCommitted, kUnknown };
+  std::vector<Fate> fates(sc.writer_keys.size(), Fate::kOld);
+  const Value new_value(std::string(160, 'd'));  // fat frames force rotations
+
+  // --- Phase A: durable engine, crash at the WAL site, lose the tail. ------
+  {
+    engine::Database db;
+    ASSERT_TRUE(db.wal()->OpenDurable(wopts).ok());
+    auto sources = sc.create_sources(&db);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_TRUE(db.BulkLoad(sources[i].get(), sc.initial_rows[i]).ok());
+    }
+    ASSERT_TRUE(db.wal()->Sync(db.wal()->LastLsn()).ok());
+
+    auto rules = sc.make_rules(&db);
+    TransformCoordinator coord(&db, rules,
+                               CellConfig(SyncStrategy::kBlockingCommit));
+    auto fut = std::async(std::launch::async, [&] { return coord.Run(); });
+    AwaitMarkOrEnd(coord, fut);
+
+    bool coord_done = false;
+    bool crashed = false;
+    for (size_t i = 0; i < sc.writer_keys.size() && !crashed; ++i) {
+      if (!coord_done && fut.wait_for(std::chrono::milliseconds(0)) ==
+                             std::future_status::ready) {
+        coord_done = true;
+        try {
+          (void)fut.get();  // any Result is fine; the cell only needs the WAL
+        } catch (const CrashException&) {
+          crashed = true;  // the coordinator's own appends crossed the site
+        }
+        db.ClearTransformHook();
+        if (crashed) break;
+      }
+      // The first few commits land before the crash is armed, so every cell
+      // has a non-empty durable committed-set to check for survival.
+      if (i == 10) fps.Crash(site);
+      auto t = db.Begin();
+      bool updated = false;
+      try {
+        updated = db.Update(t, sources[sc.writer_table].get(),
+                            Row({sc.writer_keys[i]}),
+                            {{sc.writer_column, new_value}})
+                      .ok();
+      } catch (const CrashException&) {
+        crashed = true;  // the append never finished: the txn never committed
+        break;
+      }
+      if (!updated) break;  // e.g. the gate left up by a dead coordinator
+      try {
+        if (db.Commit(t).ok()) {
+          fates[i] = Fate::kCommitted;  // Sync returned: durable, must survive
+        } else {
+          fates[i] = Fate::kUnknown;
+          crashed = true;
+        }
+      } catch (const CrashException&) {
+        fates[i] = Fate::kUnknown;  // commit record may or may not be on disk
+        crashed = true;
+      }
+    }
+    fps.DisableAll();
+    if (!coord_done) {
+      try {
+        (void)fut.get();
+      } catch (const CrashException&) {
+      }
+      db.ClearTransformHook();
+    }
+    ASSERT_GE(fps.fires(site), 1u) << "site " << site << " never fired";
+    // Process death: everything staged but not flushed is gone.
+    db.wal()->SimulateCrash();
+  }
+
+  // --- Phase B: next incarnation recovers from the segment chain. ----------
+  engine::Database db2;
+  auto sources2 = sc.create_sources(&db2);
+  auto stats =
+      engine::Recovery::RestartDurable(db2.wal(), wopts, db2.catalog());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  std::map<int64_t, Value> recovered;
+  std::map<int64_t, Value> original;
+  for (const Row& row : SortedRows(*sources2[sc.writer_table])) {
+    recovered.emplace(row[0].AsInt64(), row[sc.writer_column]);
+  }
+  for (const Row& row : sc.initial_rows[sc.writer_table]) {
+    original.emplace(row[0].AsInt64(), row[sc.writer_column]);
+  }
+  for (size_t i = 0; i < sc.writer_keys.size(); ++i) {
+    const int64_t key = sc.writer_keys[i];
+    ASSERT_EQ(recovered.count(key), 1u) << "key " << key << " lost";
+    const Value& got = recovered.at(key);
+    switch (fates[i]) {
+      case Fate::kCommitted:
+        EXPECT_EQ(got, new_value) << "durable commit lost, key " << key;
+        break;
+      case Fate::kOld:
+        EXPECT_EQ(got, original.at(key))
+            << "uncommitted update survived, key " << key;
+        break;
+      case Fate::kUnknown:
+        EXPECT_TRUE(got == new_value || got == original.at(key))
+            << "key " << key;
+        break;
+    }
+  }
+  // Half-built targets were never logged: they do not exist after restart.
+  for (const auto& [name, rows] : sc.oracle(sc.initial_rows)) {
+    EXPECT_EQ(db2.catalog()->GetByName(name), nullptr) << name;
+  }
+
+  // Idempotence: a second restart pass over the recovered log is a no-op.
+  const size_t wal_size = db2.wal()->size();
+  auto stats2 = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+  EXPECT_EQ(stats2->losers, 0u);
+  EXPECT_EQ(stats2->undone, 0u);
+  EXPECT_EQ(db2.wal()->size(), wal_size);
+
+  // Crash == abort: the transformation runs to completion on the recovered
+  // sources — over the reopened durable WAL — and produces their oracle.
+  std::vector<std::vector<Row>> recovered_sources;
+  recovered_sources.reserve(sources2.size());
+  for (const auto& s : sources2) recovered_sources.push_back(SortedRows(*s));
+  auto rules2 = sc.make_rules(&db2);
+  TransformCoordinator coord2(&db2, rules2,
+                              CellConfig(SyncStrategy::kBlockingCommit));
+  auto run2 = coord2.Run();
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  ASSERT_TRUE(run2->completed) << run2->abort_reason;
+  const auto expected_targets = sc.oracle(recovered_sources);
+  for (const auto& target : rules2->Targets()) {
+    auto it = expected_targets.find(target->name());
+    ASSERT_NE(it, expected_targets.end()) << target->name();
+    EXPECT_EQ(SortedRows(*target), Sorted(it->second)) << target->name();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashMatrixTest, FojDurableCrashAtSegmentRotate) {
+  RunDurableCrashCell(FojScenario(), "wal.segment.rotate");
+}
+TEST(CrashMatrixTest, FojDurableCrashAtGroupCommitFlush) {
+  RunDurableCrashCell(FojScenario(), "wal.group_commit.flush");
+}
+TEST(CrashMatrixTest, VSplitDurableCrashAtSegmentRotate) {
+  RunDurableCrashCell(VSplitScenario(), "wal.segment.rotate");
+}
+TEST(CrashMatrixTest, VSplitDurableCrashAtGroupCommitFlush) {
+  RunDurableCrashCell(VSplitScenario(), "wal.group_commit.flush");
 }
 
 // --- engine-seam crashes ----------------------------------------------------

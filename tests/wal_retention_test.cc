@@ -68,6 +68,32 @@ TEST(WalRetentionPinTest, InvalidLsnPinDoesNotConstrain) {
   wal.RemoveRetentionPin(pin);
 }
 
+// Regression (LSN reuse): a checkpoint that truncates the WHOLE log (no
+// active transformation, quiescent engine) used to lose base_lsn_ across a
+// save/load round trip — the reloaded log reset to base 1 and re-issued
+// already-consumed LSNs, corrupting every consumer that keys state by LSN
+// (propagated_lsn() bookkeeping, checkpoint guard horizons). The save format
+// now persists the base LSN in a header.
+TEST(WalRetentionPinTest, FullTruncationSurvivesSaveLoadWithoutLsnReuse) {
+  const std::string path =
+      ::testing::TempDir() + "/morph_retention_baselsn.log";
+  wal::Wal wal;
+  for (int i = 0; i < 30; ++i) wal.Append(wal::LogRecord{});  // LSNs 1..30
+  wal.TruncateBefore(31);  // checkpoint consumed everything
+  ASSERT_EQ(wal.size(), 0u);
+  ASSERT_TRUE(wal.SaveToFile(path).ok());
+
+  wal::Wal reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(path).ok());
+  EXPECT_EQ(reloaded.FirstLsn(), 31u);
+  EXPECT_EQ(reloaded.LastLsn(), 30u);
+  // The next append must continue the LSN space, not restart at 1: a
+  // propagator watermark of (say) 30 would otherwise be "ahead" of brand-new
+  // records and propagation would skip them forever.
+  EXPECT_EQ(reloaded.Append(wal::LogRecord{}), 31u);
+  std::filesystem::remove(path);
+}
+
 // --- The end-to-end regression ---------------------------------------------
 
 std::string FreshDir(const std::string& tag) {

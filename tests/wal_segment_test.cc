@@ -1,0 +1,380 @@
+// Unit tests for the durable segmented WAL backend: segment rotation,
+// recycling gated by retention pins, manifest base-LSN persistence, chain
+// recovery with torn-tail discipline, group-commit durability, and the
+// wal.segment.* / wal.group_commit.* crash failpoints.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "wal/log_record.h"
+#include "wal/segment.h"
+#include "wal/wal.h"
+#include "wal/wal_writer.h"
+
+namespace morph::wal {
+namespace {
+
+LogRecord MakeInsert(TxnId txn, TableId table, int64_t key) {
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.txn_id = txn;
+  rec.table_id = table;
+  rec.key = Row({key});
+  rec.after = Row({key, "payload-payload-payload"});
+  return rec;
+}
+
+class WalSegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/morph_seg_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    Failpoints::Instance().DisableAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  WalOptions SmallSegments(size_t bytes = 512) {
+    WalOptions opts;
+    opts.dir = dir_;
+    opts.segment_bytes = bytes;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalSegmentTest, DurableRoundTrip) {
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(WalOptions{dir_}).ok());
+    ASSERT_TRUE(wal.durable());
+    for (int i = 0; i < 100; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+    EXPECT_EQ(wal.durable_lsn(), 100u);
+  }  // clean shutdown drains the writer
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(WalOptions{dir_}).ok());
+  EXPECT_EQ(reloaded.size(), 100u);
+  EXPECT_EQ(reloaded.FirstLsn(), 1u);
+  EXPECT_EQ(reloaded.LastLsn(), 100u);
+  auto rec = reloaded.At(42);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->key, Row({int64_t{41}}));
+  // Replayed records are durable: Sync must not block.
+  EXPECT_TRUE(reloaded.Sync(reloaded.LastLsn()).ok());
+  // LSNs continue where the previous incarnation stopped.
+  EXPECT_EQ(reloaded.Append(MakeInsert(2, 1, 1000)), 101u);
+}
+
+TEST_F(WalSegmentTest, RotationProducesMultiSegmentChain) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  for (int i = 0; i < 200; ++i) wal.Append(MakeInsert(1, 1, i));
+  ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  ASSERT_NE(wal.segmented_log(), nullptr);
+  EXPECT_GT(wal.segmented_log()->num_segments(), 3u);
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  EXPECT_EQ(reloaded.size(), 200u);
+  EXPECT_EQ(reloaded.LastLsn(), 200u);
+  for (Lsn l = 1; l <= 200; ++l) {
+    ASSERT_TRUE(reloaded.At(l).ok()) << "lsn " << l;
+  }
+}
+
+TEST_F(WalSegmentTest, TruncateRecyclesSegmentsAndReusesFiles) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  for (int i = 0; i < 200; ++i) wal.Append(MakeInsert(1, 1, i));
+  ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  const size_t before = wal.segmented_log()->num_segments();
+  ASSERT_GT(before, 3u);
+
+  wal.TruncateBefore(150);
+  EXPECT_EQ(wal.FirstLsn(), 150u);
+  EXPECT_LT(wal.segmented_log()->num_segments(), before);
+  EXPECT_GT(wal.segmented_log()->segments_recycled(), 0u);
+  EXPECT_GT(wal.segmented_log()->pool_size(), 0u);
+
+  // New appends reuse pooled files instead of creating fresh ones.
+  for (int i = 0; i < 200; ++i) wal.Append(MakeInsert(1, 1, 1000 + i));
+  ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  EXPECT_GT(wal.segmented_log()->segments_reused(), 0u);
+
+  // The truncated prefix is gone after restart; the rest survives.
+  Wal reloaded;
+  Wal* r = &reloaded;
+  ASSERT_TRUE(r->OpenDurable(SmallSegments()).ok());
+  EXPECT_EQ(r->FirstLsn(), 150u);
+  EXPECT_EQ(r->LastLsn(), 400u);
+  EXPECT_TRUE(r->At(149).status().IsNotFound());
+  EXPECT_TRUE(r->At(150).ok());
+}
+
+TEST_F(WalSegmentTest, RetentionPinBlocksSegmentRecycling) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  for (int i = 0; i < 200; ++i) wal.Append(MakeInsert(1, 1, i));
+  ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  const size_t before = wal.segmented_log()->num_segments();
+
+  // A propagator-style pin holding the very first record: nothing may be
+  // recycled.
+  const uint64_t pin = wal.AddRetentionPin([] { return Lsn{1}; });
+  wal.TruncateBefore(180);
+  EXPECT_EQ(wal.FirstLsn(), 1u);  // clamped
+  EXPECT_EQ(wal.segmented_log()->num_segments(), before);
+  EXPECT_EQ(wal.segmented_log()->segments_recycled(), 0u);
+
+  // Pin released: the same truncate now recycles.
+  wal.RemoveRetentionPin(pin);
+  wal.TruncateBefore(180);
+  EXPECT_EQ(wal.FirstLsn(), 180u);
+  EXPECT_GT(wal.segmented_log()->segments_recycled(), 0u);
+}
+
+TEST_F(WalSegmentTest, FullTruncationPreservesLsnSpaceAcrossRestart) {
+  // The segmented flavor of the base-LSN persistence bug: a fully truncated
+  // chain must reopen with its LSN space intact, not reset to 1.
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    for (int i = 0; i < 50; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+    wal.TruncateBefore(51);
+    EXPECT_EQ(wal.size(), 0u);
+    EXPECT_EQ(wal.FirstLsn(), 51u);
+    EXPECT_EQ(wal.LastLsn(), 50u);  // last assigned, per contract
+  }
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  EXPECT_EQ(reloaded.size(), 0u);
+  EXPECT_EQ(reloaded.FirstLsn(), 51u);
+  EXPECT_EQ(reloaded.LastLsn(), 50u);
+  EXPECT_EQ(reloaded.Append(MakeInsert(1, 1, 7)), 51u);  // no LSN reuse
+}
+
+TEST_F(WalSegmentTest, TornTailAtChainEndIsTrimmed) {
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    for (int i = 0; i < 100; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  }
+  // Find the chain's last segment (largest id) and tear its tail.
+  uint64_t max_id = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) == 0) {
+      max_id = std::max<uint64_t>(
+          max_id, std::strtoull(name.c_str() + 4, nullptr, 10));
+    }
+  }
+  ASSERT_GT(max_id, 1u);
+  const std::string last = SegmentedLog::SegmentPath(dir_, max_id);
+  const auto full = std::filesystem::file_size(last);
+  std::filesystem::resize_file(last, full - 3);  // torn mid-frame
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  // A strict prefix survives; the torn record is gone.
+  EXPECT_LT(reloaded.LastLsn(), 100u);
+  EXPECT_GT(reloaded.size(), 0u);
+  Lsn prev = 0;
+  reloaded.Scan(1, reloaded.LastLsn(), [&](const LogRecord& rec) {
+    EXPECT_EQ(rec.lsn, prev + 1);
+    prev = rec.lsn;
+  });
+}
+
+TEST_F(WalSegmentTest, TornTailSpanningSegmentBoundaryIsTrimmedToBoundary) {
+  // Tear the ENTIRE last segment's payload (every frame after its header):
+  // the valid chain now ends exactly at the previous segment's last record
+  // — the rotation boundary — and recovery must resume from there.
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    for (int i = 0; i < 100; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  }
+  uint64_t max_id = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) == 0) {
+      max_id = std::max<uint64_t>(
+          max_id, std::strtoull(name.c_str() + 4, nullptr, 10));
+    }
+  }
+  ASSERT_GT(max_id, 1u);
+  constexpr size_t kHeaderBytes = 24;
+  std::filesystem::resize_file(SegmentedLog::SegmentPath(dir_, max_id),
+                               kHeaderBytes);
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  const Lsn tail = reloaded.LastLsn();
+  EXPECT_LT(tail, 100u);
+  EXPECT_GT(tail, 0u);
+  // Contiguous prefix up to the boundary, appends continue after it.
+  Lsn prev = 0;
+  reloaded.Scan(1, tail, [&](const LogRecord& rec) {
+    EXPECT_EQ(rec.lsn, prev + 1);
+    prev = rec.lsn;
+  });
+  EXPECT_EQ(prev, tail);
+  EXPECT_EQ(reloaded.Append(MakeInsert(2, 1, 0)), tail + 1);
+}
+
+TEST_F(WalSegmentTest, MidChainDamageIsFatal) {
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    for (int i = 0; i < 100; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  }
+  // Damage the FIRST segment (not the chain tail): flip a payload byte.
+  const std::string first = SegmentedLog::SegmentPath(dir_, 1);
+  ASSERT_TRUE(std::filesystem::exists(first));
+  {
+    std::fstream f(first, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(64);
+    char c;
+    f.seekg(64);
+    f.get(c);
+    f.seekp(64);
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  Wal reloaded;
+  const Status st = reloaded.OpenDurable(SmallSegments());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(WalSegmentTest, ConcurrentCommittersAllDurable) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments(4096)).ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Lsn lsn = wal.Append(MakeInsert(t + 1, 1, i));
+        if (!wal.Sync(lsn).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wal.durable_lsn(), static_cast<Lsn>(kThreads * kPerThread));
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments(4096)).ok());
+  EXPECT_EQ(reloaded.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST_F(WalSegmentTest, CrashAtRotateLosesNoSyncedRecord) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  Failpoints::Instance().Crash("wal.segment.rotate");
+  Lsn last_synced = kInvalidLsn;
+  bool crashed = false;
+  for (int i = 0; i < 500 && !crashed; ++i) {
+    try {
+      const Lsn lsn = wal.Append(MakeInsert(1, 1, i));
+      if (wal.Sync(lsn).ok()) last_synced = lsn;
+    } catch (const CrashException&) {
+      crashed = true;
+    }
+  }
+  ASSERT_TRUE(crashed) << "rotation failpoint never fired";
+  ASSERT_NE(last_synced, kInvalidLsn);
+  wal.SimulateCrash();
+  Failpoints::Instance().DisableAll();
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  // Every record whose Sync returned OK must have survived.
+  EXPECT_GE(reloaded.LastLsn(), last_synced);
+  for (Lsn l = 1; l <= last_synced; ++l) {
+    EXPECT_TRUE(reloaded.At(l).ok()) << "synced record " << l << " lost";
+  }
+}
+
+TEST_F(WalSegmentTest, CrashAtGroupCommitFlushLosesOnlyUnsyncedTail) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments(1 << 20)).ok());
+  // First batch becomes durable normally.
+  for (int i = 0; i < 20; ++i) wal.Append(MakeInsert(1, 1, i));
+  ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  const Lsn durable_before = wal.durable_lsn();
+  ASSERT_EQ(durable_before, 20u);
+
+  // The writer crashes on its next flush; Sync rethrows the simulated
+  // process death on the committer's thread.
+  Failpoints::Instance().Crash("wal.group_commit.flush");
+  const Lsn doomed = wal.Append(MakeInsert(1, 1, 999));
+  EXPECT_THROW((void)wal.Sync(doomed), CrashException);
+  wal.SimulateCrash();
+  Failpoints::Instance().DisableAll();
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments(1 << 20)).ok());
+  EXPECT_EQ(reloaded.LastLsn(), durable_before);  // doomed record lost
+  EXPECT_TRUE(reloaded.At(doomed).status().IsNotFound());
+}
+
+TEST_F(WalSegmentTest, CrashAtRecycleKeepsChainOpenable) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  for (int i = 0; i < 200; ++i) wal.Append(MakeInsert(1, 1, i));
+  ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+
+  Failpoints::Instance().Crash("wal.segment.recycle");
+  EXPECT_THROW(wal.TruncateBefore(150), CrashException);
+  wal.SimulateCrash();
+  Failpoints::Instance().DisableAll();
+
+  // The manifest was not rewritten: the next incarnation sees the chain as
+  // it was before the truncate — conservative, never corrupt.
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  EXPECT_EQ(reloaded.FirstLsn(), 1u);
+  EXPECT_EQ(reloaded.LastLsn(), 200u);
+}
+
+TEST_F(WalSegmentTest, ErrorFailpointOnFlushSurfacesThroughSync) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  Failpoints::Instance().Error("wal.group_commit.flush",
+                               Status::IOError("injected"));
+  const Lsn lsn = wal.Append(MakeInsert(1, 1, 1));
+  const Status st = wal.Sync(lsn);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  Failpoints::Instance().DisableAll();
+}
+
+TEST_F(WalSegmentTest, OpenDurableRejectsUsedWal) {
+  Wal wal;
+  wal.Append(MakeInsert(1, 1, 1));
+  EXPECT_TRUE(wal.OpenDurable(WalOptions{dir_}).IsInvalidArgument());
+}
+
+TEST_F(WalSegmentTest, LoadFromFileRejectedInDurableMode) {
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(WalOptions{dir_}).ok());
+  EXPECT_TRUE(wal.LoadFromFile(dir_ + "/nope").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace morph::wal

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "wal/log_record.h"
+#include "wal/segment.h"
 #include "wal/wal.h"
 
 namespace morph::wal {
@@ -218,6 +221,128 @@ TEST(WalTest, SaveAndLoadFileRoundTrip) {
 TEST(WalTest, LoadMissingFileFails) {
   Wal wal;
   EXPECT_TRUE(wal.LoadFromFile("/nonexistent/path/wal.log").IsIOError());
+}
+
+// Regression (doc/behavior mismatch): LastLsn() means "last *assigned* LSN".
+// It is kInvalidLsn only for a brand-new log; after truncation — including
+// full truncation that empties the log — it keeps returning the last
+// assigned LSN, which the checkpointer's guard and the coordinator's
+// catch-up bounds rely on.
+TEST(WalTest, LastLsnContractAfterFullTruncation) {
+  Wal wal;
+  EXPECT_EQ(wal.LastLsn(), kInvalidLsn);  // never assigned anything
+  for (int i = 0; i < 10; ++i) wal.Append(MakeInsert(1, 1, i));
+  EXPECT_EQ(wal.LastLsn(), 10u);
+  wal.TruncateBefore(11);  // empties the log
+  EXPECT_EQ(wal.size(), 0u);
+  EXPECT_EQ(wal.LastLsn(), 10u);       // NOT kInvalidLsn: 10 was assigned
+  EXPECT_EQ(wal.FirstLsn(), 11u);      // FirstLsn == LastLsn+1 when empty
+  EXPECT_EQ(wal.Append(MakeInsert(1, 1, 99)), 11u);
+}
+
+// Regression (non-atomic save): a crash mid-save must leave the previous
+// good file intact. SaveToFile writes a temp file and renames; the
+// wal.save.before_rename failpoint crashes in the widest window — after the
+// bytes are written, before the rename — and the old file must survive.
+TEST(WalTest, CrashDuringSaveLeavesOldFileIntact) {
+  const std::string path = ::testing::TempDir() + "/morph_wal_atomic.log";
+  Wal wal;
+  for (int i = 0; i < 50; ++i) wal.Append(MakeInsert(1, 1, i));
+  ASSERT_TRUE(wal.SaveToFile(path).ok());
+
+  for (int i = 50; i < 80; ++i) wal.Append(MakeInsert(1, 1, i));
+  Failpoints::Instance().Crash("wal.save.before_rename");
+  EXPECT_THROW((void)wal.SaveToFile(path), CrashException);
+  Failpoints::Instance().DisableAll();
+
+  // The old 50-record file is untouched by the crashed save.
+  Wal survivor;
+  ASSERT_TRUE(survivor.LoadFromFile(path).ok());
+  EXPECT_EQ(survivor.size(), 50u);
+  EXPECT_EQ(survivor.LastLsn(), 50u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// Regression (LSN reuse): an empty (fully truncated) log must round-trip
+// through save/load without resetting its LSN space — the header persists
+// the base LSN.
+TEST(WalTest, EmptyLogRoundTripPreservesBaseLsn) {
+  const std::string path = ::testing::TempDir() + "/morph_wal_base.log";
+  Wal wal;
+  for (int i = 0; i < 20; ++i) wal.Append(MakeInsert(1, 1, i));
+  wal.TruncateBefore(21);
+  ASSERT_EQ(wal.size(), 0u);
+  ASSERT_TRUE(wal.SaveToFile(path).ok());
+
+  Wal loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.FirstLsn(), 21u);
+  EXPECT_EQ(loaded.LastLsn(), 20u);
+  // The recovered engine must NOT re-issue consumed LSNs.
+  EXPECT_EQ(loaded.Append(MakeInsert(1, 1, 7)), 21u);
+  std::remove(path.c_str());
+}
+
+// Legacy headerless files (no magic) still load.
+TEST(WalTest, LoadLegacyHeaderlessFile) {
+  const std::string path = ::testing::TempDir() + "/morph_wal_legacy.log";
+  {
+    // Hand-write the legacy format: frames only, no header.
+    Wal wal;
+    for (int i = 0; i < 5; ++i) wal.Append(MakeInsert(1, 1, i));
+    std::string buf;
+    wal.Scan(1, 5, [&](const LogRecord& rec) { AppendFrame(&buf, rec); });
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  Wal loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.size(), 5u);
+  EXPECT_EQ(loaded.FirstLsn(), 1u);
+  std::remove(path.c_str());
+}
+
+// Regression (silent gap skip): the checked scans report Corruption when a
+// pin-less truncate has raced past the reader instead of skipping the
+// dropped range.
+TEST(WalTest, ScanCheckedDetectsGapFromTruncation) {
+  Wal wal;
+  for (int i = 0; i < 100; ++i) wal.Append(MakeInsert(1, 1, i));
+
+  // A reader mid-log: first batch reads fine.
+  std::vector<LogRecord> batch;
+  auto first = wal.ScanIntoChecked(1, 100, 10, &batch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 10u);
+
+  // A pin-less truncate races past the reader's resume point...
+  wal.TruncateBefore(50);
+
+  // ...and the resumed scan fails loudly instead of silently skipping
+  // records 11..49.
+  batch.clear();
+  auto resumed = wal.ScanIntoChecked(11, 100, 10, &batch);
+  EXPECT_TRUE(resumed.status().IsCorruption()) << resumed.status().ToString();
+  EXPECT_TRUE(batch.empty());
+
+  size_t seen = 0;
+  auto chunked = wal.ScanChecked(11, 100, [&](const LogRecord&) { seen++; });
+  EXPECT_TRUE(chunked.status().IsCorruption());
+  EXPECT_EQ(seen, 0u);
+
+  // From the surviving range the checked scan behaves like Scan.
+  auto ok = wal.ScanChecked(50, 100, [&](const LogRecord&) { seen++; });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 100u);
+  EXPECT_EQ(seen, 51u);
+
+  // The unchecked Scan keeps its documented skip-the-prefix behavior.
+  size_t skipped_scan = 0;
+  EXPECT_EQ(wal.Scan(11, 100, [&](const LogRecord&) { skipped_scan++; }),
+            100u);
+  EXPECT_EQ(skipped_scan, 51u);
 }
 
 TEST(LogRecordTest, ToStringIsInformative) {
