@@ -25,6 +25,11 @@ TxnPtr Database::Begin() {
 }
 
 Status Database::Commit(const TxnPtr& t) {
+  if (wal_failed_.load(std::memory_order_acquire)) {
+    return Status::Internal(
+        "engine halted: a prior commit was applied in memory but its WAL "
+        "sync failed, so volatile state has diverged from the durable log");
+  }
   if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
     const Status gate = hook->OnCommit(t->id(), t->epoch());
     if (!gate.ok()) {
@@ -39,7 +44,17 @@ Status Database::Commit(const TxnPtr& t) {
   // is durable. In-memory mode this is a no-op; with a segmented WAL the
   // caller blocks until the group-commit writer's flush horizon passes the
   // commit record (many committers share one flush).
-  MORPH_RETURN_NOT_OK(wal_.Sync(t->last_lsn()));
+  const Status durable = wal_.Sync(t->last_lsn());
+  if (!durable.ok()) {
+    // The transaction already took effect in memory (txns_.Commit above) and
+    // cannot be unwound — other readers may have seen it. Returning an error
+    // while the effects stay visible would make this incarnation lie to its
+    // caller, so the whole engine halts instead: no further commit is
+    // accepted (the durable log is behind volatile state for good).
+    wal_failed_.store(true, std::memory_order_release);
+    MORPH_COUNTER_INC("engine.txn.wal_failed_halt");
+    return durable;
+  }
   MORPH_COUNTER_INC("engine.txn.commits");
   if (TransformHook* hook = hook_.load(std::memory_order_acquire)) {
     hook->OnTxnFinished(t->id(), t->epoch());

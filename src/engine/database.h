@@ -77,8 +77,18 @@ class Database {
   TxnPtr Begin();
 
   /// \brief Commits: logs COMMIT, releases locks, notifies any registered
-  /// transformation hook.
+  /// transformation hook. The commit is applied in memory first, then made
+  /// durable (Wal::Sync). If Sync fails, in-memory state has diverged from
+  /// the durable log — the already-applied effects cannot be unwound — so
+  /// the engine halts: the failing Status is returned and every subsequent
+  /// Commit is refused (see wal_failed()). A crash-failpoint
+  /// CrashException propagates instead; the crash harness discards the
+  /// incarnation, so no divergence is observable.
   Status Commit(const TxnPtr& t);
+
+  /// \brief True once a commit's WAL sync has failed: volatile state no
+  /// longer matches the durable log and the engine refuses further commits.
+  bool wal_failed() const { return wal_failed_.load(std::memory_order_acquire); }
 
   /// \brief Aborts: logs ABORT, undoes this transaction's operations in
   /// reverse LSN order writing a CLR per undone operation, logs TXN_END,
@@ -162,6 +172,9 @@ class Database {
   txn::TransactionManager txns_;
   std::atomic<TransformHook*> hook_{nullptr};
   std::atomic<txn::TxnEpoch> epoch_{0};
+  /// Set when a commit was applied in memory but its WAL sync failed; the
+  /// engine is then halted for new commits (see Commit docs).
+  std::atomic<bool> wal_failed_{false};
 };
 
 }  // namespace morph::engine

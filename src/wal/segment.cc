@@ -51,9 +51,30 @@ Status WriteFully(int fd, const char* data, size_t n) {
   return Status::OK();
 }
 
+/// Fsyncs the directory containing `path`. A rename or file creation is only
+/// durable across power loss once the directory entry itself is flushed;
+/// without this, a crash after AtomicWriteFile's rename (or after a segment
+/// file's creation) can revert the directory to its previous contents even
+/// though the file data was fsynced.
+Status FsyncParentDir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  Status st;
+  if (::fsync(fd) != 0) {
+    st = Status::IOError("fsync dir " + dir + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  return st;
+}
+
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
-/// fsync, rename. The previous file (if any) survives any crash before the
-/// rename; after the rename the new content is complete.
+/// fsync, rename, fsync the directory. The previous file (if any) survives
+/// any crash before the rename; after the directory fsync the new content is
+/// complete and the rename is persistent.
 Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
@@ -70,7 +91,7 @@ Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
     return Status::IOError("rename " + tmp + " -> " + path + ": " +
                            ec.message());
   }
-  return Status::OK();
+  return FsyncParentDir(path);
 }
 
 }  // namespace
@@ -234,6 +255,15 @@ Result<Lsn> SegmentedLog::Open(
         return Status::IOError("cannot trim torn tail of " + path + ": " +
                                ec.message());
       }
+      // Persist the truncation: if power is lost after replay decided the
+      // torn bytes are gone, the next incarnation must not see them again.
+      const int tfd = ::open(path.c_str(), O_WRONLY);
+      if (tfd < 0 || ::fsync(tfd) != 0) {
+        const std::string err = std::strerror(errno);
+        if (tfd >= 0) ::close(tfd);
+        return Status::IOError("fsync trimmed tail of " + path + ": " + err);
+      }
+      ::close(tfd);
       break;
     }
     segments_.push_back(seg);
@@ -303,6 +333,10 @@ Status SegmentedLog::OpenNewSegment(Lsn next_lsn) {
     st = Status::IOError("fsync header of " + path + ": " +
                          std::strerror(errno));
   }
+  // Directory entry too (covers both the O_CREAT and the pool-rename path):
+  // the manifest rewrite that follows will list this segment, so its
+  // existence must survive power loss, not just process death.
+  if (st.ok()) st = FsyncParentDir(path);
   if (!st.ok()) {
     CloseFdLocked();
     return st;
@@ -382,11 +416,15 @@ Status SegmentedLog::RecycleBefore(Lsn keep_from) {
   if (keep_from <= base_lsn_) return Status::OK();
   base_lsn_ = keep_from;
   // Victims: the longest prefix of *closed* segments that lie entirely
-  // below the new base. The open segment is never recycled.
+  // below the new base. The open segment is never recycled. A closed
+  // segment that holds no records (last_lsn == kInvalidLsn — the fresh
+  // segment a previous incarnation opened and never wrote to) is always a
+  // victim: it has nothing at or above keep_from by definition, and leaving
+  // it would wedge every segment behind it in the chain forever.
   std::vector<Segment> victims;
   while (segments_.size() > 1) {
     const Segment& seg = segments_.front();
-    if (seg.last_lsn == kInvalidLsn || seg.last_lsn >= keep_from) break;
+    if (seg.last_lsn != kInvalidLsn && seg.last_lsn >= keep_from) break;
     victims.push_back(seg);
     segments_.pop_front();
   }

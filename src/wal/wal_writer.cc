@@ -118,7 +118,14 @@ void GroupCommitWriter::Run() {
     MORPH_HISTOGRAM_NANOS("wal.group_commit.batch_size",
                           static_cast<int64_t>(target - prev));
     MORPH_COUNTER_INC("wal.group_commit.flushes");
-    durable_lsn_.store(target, std::memory_order_release);
+    {
+      // The horizon must advance under mu_: a committer in WaitDurable
+      // evaluates its predicate under the same lock, so storing + notifying
+      // without it can slip between the waiter's check and its block — a
+      // lost wakeup that hangs a lone committer forever.
+      std::lock_guard lock(mu_);
+      durable_lsn_.store(target, std::memory_order_release);
+    }
     done_cv_.notify_all();
   }
 }

@@ -616,7 +616,18 @@ void RunDurableCrashCell(const Scenario& sc, const std::string& site) {
         crashed = true;  // the append never finished: the txn never committed
         break;
       }
-      if (!updated) break;  // e.g. the gate left up by a dead coordinator
+      if (!updated) {
+        // A racing switch-over legitimately rejects this update (the txn
+        // began just before the switch epoch and is doomed, or the table
+        // was just transformed and the hook is not cleared yet). Roll back
+        // and move to the next key — the next iteration observes the
+        // finished coordinator and clears the hook. Ending the loop here is
+        // only right when no coordinator is left to get out of the way
+        // (its gate was left up by a simulated death).
+        (void)db.Abort(t);
+        if (coord_done) break;
+        continue;
+      }
       try {
         if (db.Commit(t).ok()) {
           fates[i] = Fate::kCommitted;  // Sync returned: durable, must survive

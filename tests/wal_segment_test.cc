@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
 #include "wal/log_record.h"
 #include "wal/segment.h"
 #include "wal/wal.h"
@@ -119,6 +121,39 @@ TEST_F(WalSegmentTest, TruncateRecyclesSegmentsAndReusesFiles) {
   EXPECT_EQ(r->LastLsn(), 400u);
   EXPECT_TRUE(r->At(149).status().IsNotFound());
   EXPECT_TRUE(r->At(150).ok());
+}
+
+TEST_F(WalSegmentTest, EmptyClosedSegmentsDoNotWedgeRecycling) {
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    for (int i = 0; i < 50; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  }
+  // Append-free restarts: each Open starts a fresh segment, so the previous
+  // incarnation's fresh segment is left closed and EMPTY (header only) in
+  // the middle of the chain.
+  for (int i = 0; i < 2; ++i) {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  }
+  Wal wal;
+  ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+  for (int i = 0; i < 3; ++i) wal.Append(MakeInsert(1, 1, 100 + i));
+  ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  ASSERT_GT(wal.segmented_log()->num_segments(), 3u);
+
+  // Truncating past every closed segment's records must recycle the whole
+  // closed prefix. The empty restart segments used to stop the victim scan,
+  // permanently leaking them and every segment queued behind them.
+  wal.TruncateBefore(51);
+  EXPECT_EQ(wal.FirstLsn(), 51u);
+  EXPECT_EQ(wal.segmented_log()->num_segments(), 1u);
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  EXPECT_EQ(reloaded.FirstLsn(), 51u);
+  EXPECT_EQ(reloaded.LastLsn(), 53u);
 }
 
 TEST_F(WalSegmentTest, RetentionPinBlocksSegmentRecycling) {
@@ -362,6 +397,33 @@ TEST_F(WalSegmentTest, ErrorFailpointOnFlushSurfacesThroughSync) {
   const Status st = wal.Sync(lsn);
   EXPECT_TRUE(st.IsIOError()) << st.ToString();
   Failpoints::Instance().DisableAll();
+}
+
+TEST_F(WalSegmentTest, CommitSyncFailureHaltsEngine) {
+  engine::Database db;
+  ASSERT_TRUE(db.wal()->OpenDurable(WalOptions{dir_}).ok());
+  auto table = *db.CreateTable("r", morph::testing::RSchema());
+
+  auto t1 = db.Begin();
+  ASSERT_TRUE(db.Insert(t1, table.get(), Row({1, 1, "a"})).ok());
+  ASSERT_TRUE(db.Commit(t1).ok());
+
+  // The writer dies on its next flush: Commit applies the transaction in
+  // memory, then Sync surfaces the I/O error. In-memory state has diverged
+  // from the durable log, so the engine must halt instead of acknowledging
+  // commits the log can no longer persist.
+  Failpoints::Instance().Error("wal.group_commit.flush",
+                               Status::IOError("injected"));
+  auto t2 = db.Begin();
+  ASSERT_TRUE(db.Insert(t2, table.get(), Row({2, 2, "b"})).ok());
+  EXPECT_TRUE(db.Commit(t2).IsIOError());
+  EXPECT_TRUE(db.wal_failed());
+  Failpoints::Instance().DisableAll();
+
+  // Halted for good: even a commit whose flush would now succeed is refused.
+  auto t3 = db.Begin();
+  ASSERT_TRUE(db.Insert(t3, table.get(), Row({3, 3, "c"})).ok());
+  EXPECT_TRUE(db.Commit(t3).IsInternal());
 }
 
 TEST_F(WalSegmentTest, OpenDurableRejectsUsedWal) {
