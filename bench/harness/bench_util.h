@@ -34,10 +34,11 @@ struct SplitScenario {
   int64_t rows = kSplitRows;
 
   static SplitScenario Make(int64_t rows = kSplitRows,
-                            int64_t groups = kSplitGroups) {
+                            int64_t groups = kSplitGroups,
+                            engine::DatabaseOptions db_options = {}) {
     SplitScenario s;
     s.rows = rows;
-    s.db = std::make_unique<engine::Database>();
+    s.db = std::make_unique<engine::Database>(db_options);
     auto t_schema = *Schema::Make({{"id", ValueType::kInt64, false},
                                    {"grp", ValueType::kInt64, true},
                                    {"city", ValueType::kString, true},

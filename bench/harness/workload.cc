@@ -130,6 +130,17 @@ void Workload::ClientLoop(size_t thread_idx) {
           1, std::memory_order_relaxed);
     } else {
       state.aborted.fetch_add(1, std::memory_order_relaxed);
+      // Only epoch-crossing aborts enter the latency histogram: a
+      // transaction that began before a switch-over and was stalled on a
+      // latch or doomed by it carries the old epoch, while the post-switch
+      // retry flood (begin and abort entirely in the new epoch, in
+      // microseconds) and ordinary wait-die losers do not. Without this
+      // filter thousands of instant retries drown the handful of victims
+      // whose stalls the histogram exists to expose.
+      if (txn->epoch() != config_.db->current_epoch()) {
+        state.abort_hist[LatencyHistogram::BucketFor(latency)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
     }
   }
 }
@@ -145,6 +156,8 @@ WorkloadSnapshot Workload::Snapshot() const {
     snap.response_count += state->response_count.load(std::memory_order_relaxed);
     for (size_t i = 0; i < snap.hist.buckets.size(); ++i) {
       snap.hist.buckets[i] += state->hist[i].load(std::memory_order_relaxed);
+      snap.abort_hist.buckets[i] +=
+          state->abort_hist[i].load(std::memory_order_relaxed);
     }
   }
   return snap;

@@ -65,6 +65,13 @@ struct WorkloadSnapshot {
   int64_t response_sum_micros = 0;
   uint64_t response_count = 0;
   LatencyHistogram hist;
+  /// Latency of *epoch-crossing* aborted attempts, separately: a
+  /// transaction that stalls on a synchronization latch and is then doomed
+  /// at the switch never commits, but its stall is user-visible pause all
+  /// the same. Only aborts whose transaction saw the global epoch advance
+  /// mid-flight are recorded — the post-switch retry flood and wait-die
+  /// losers stay out (see ClientLoop).
+  LatencyHistogram abort_hist;
 };
 
 /// \brief Rates over a window between two snapshots.
@@ -111,6 +118,7 @@ class Workload {
     std::atomic<uint64_t> response_count{0};
     // Histogram buckets, individually atomic.
     std::array<std::atomic<uint64_t>, 24> hist{};
+    std::array<std::atomic<uint64_t>, 24> abort_hist{};
   };
 
   void ClientLoop(size_t thread_idx);

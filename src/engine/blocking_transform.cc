@@ -9,6 +9,16 @@ namespace morph::engine {
 
 namespace {
 
+/// Whole-table pause: exclusively latch every tablet of `table`, in index
+/// order, appending the guards to `latches` (tables themselves must be
+/// latched in id order by the caller).
+void LatchAllTablets(storage::Table* table,
+                     std::vector<std::unique_lock<std::shared_mutex>>* latches) {
+  for (size_t t = 0; t < table->num_tablets(); ++t) {
+    latches->emplace_back(table->tablet_latch(t));
+  }
+}
+
 std::vector<Row> SnapshotRows(storage::Table* table) {
   std::vector<Row> rows;
   rows.reserve(table->size());
@@ -53,8 +63,10 @@ Result<BlockingTransform::Outcome> BlockingTransform::FullOuterJoin(
     // double-latcher.
     storage::Table* first = r->id() < s->id() ? r : s;
     storage::Table* second = r->id() < s->id() ? s : r;
-    std::unique_lock latch1(first->latch());
-    std::unique_lock latch2(second->latch());
+    std::vector<std::unique_lock<std::shared_mutex>> latches;
+    latches.reserve(first->num_tablets() + second->num_tablets());
+    LatchAllTablets(first, &latches);
+    LatchAllTablets(second, &latches);
 
     const std::vector<Row> r_rows = SnapshotRows(r);
     const std::vector<Row> s_rows = SnapshotRows(s);
@@ -83,7 +95,9 @@ Result<BlockingTransform::Outcome> BlockingTransform::Split(
   Outcome outcome;
   const auto start = Clock::Now();
   {
-    std::unique_lock latch(t->latch());
+    std::vector<std::unique_lock<std::shared_mutex>> latches;
+    latches.reserve(t->num_tablets());
+    LatchAllTablets(t, &latches);
     const std::vector<Row> t_rows = SnapshotRows(t);
     SplitResult split = morph::Split(t_rows, r_cols, s_cols, s_key_within);
     MORPH_RETURN_NOT_OK(WriteAll(db, r_out, split.r_rows, nullptr, nullptr));

@@ -12,7 +12,8 @@ Database::Database(DatabaseOptions options)
 
 Result<std::shared_ptr<storage::Table>> Database::CreateTable(
     const std::string& name, Schema schema) {
-  return catalog_.CreateTable(name, std::move(schema), options_.table_shards);
+  return catalog_.CreateTable(name, std::move(schema), options_.table_shards,
+                              options_.table_tablets);
 }
 
 Status Database::DropTable(const std::string& name) {
@@ -139,7 +140,7 @@ Status Database::UndoOne(const TxnPtr& t, const wal::LogRecord& rec) {
   t->set_last_lsn(clr_lsn);
 
   if (table == nullptr) return Status::OK();
-  std::shared_lock latch(table->latch());
+  std::shared_lock latch(table->latch_for(rec.key));
   switch (rec.type) {
     case wal::LogRecordType::kInsert:
       return table->Delete(rec.key);
@@ -214,7 +215,7 @@ Status Database::Insert(const TxnPtr& t, storage::Table* table, Row row) {
   const Row key = table->schema().KeyOf(row);
   MORPH_RETURN_NOT_OK(
       OpGate(t, table, key, txn::LockMode::kExclusive, txn::Access::kWrite));
-  std::shared_lock latch(table->latch());
+  std::shared_lock latch(table->latch_for(key));
   MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kWrite));
   if (table->Contains(key)) {
     return Status::AlreadyExists("duplicate key " + key.ToString() + " in " +
@@ -242,7 +243,7 @@ Status Database::Insert(const TxnPtr& t, storage::Table* table, Row row) {
 Status Database::Delete(const TxnPtr& t, storage::Table* table, const Row& key) {
   MORPH_RETURN_NOT_OK(
       OpGate(t, table, key, txn::LockMode::kExclusive, txn::Access::kWrite));
-  std::shared_lock latch(table->latch());
+  std::shared_lock latch(table->latch_for(key));
   MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kWrite));
   auto existing = table->Get(key);
   if (!existing.ok()) return existing.status();
@@ -265,7 +266,7 @@ Status Database::Update(const TxnPtr& t, storage::Table* table, const Row& key,
                         const std::vector<ColumnUpdate>& updates) {
   MORPH_RETURN_NOT_OK(
       OpGate(t, table, key, txn::LockMode::kExclusive, txn::Access::kWrite));
-  std::shared_lock latch(table->latch());
+  std::shared_lock latch(table->latch_for(key));
   MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kWrite));
   auto existing = table->Get(key);
   if (!existing.ok()) return existing.status();
@@ -305,7 +306,7 @@ Result<Row> Database::Read(const TxnPtr& t, storage::Table* table,
                            const Row& key) {
   MORPH_RETURN_NOT_OK(
       OpGate(t, table, key, txn::LockMode::kShared, txn::Access::kRead));
-  std::shared_lock latch(table->latch());
+  std::shared_lock latch(table->latch_for(key));
   MORPH_RETURN_NOT_OK(Recheck(t, table, key, txn::Access::kRead));
   auto record = table->Get(key);
   if (!record.ok()) return record.status();

@@ -24,6 +24,11 @@ struct DatabaseOptions {
   /// Shards per table hash heap. Kept below 64 so Table::ForEach's
   /// all-shard-locks pass stays under TSan's 64-held-mutexes cap.
   size_t table_shards = 32;
+  /// Hash-range tablets per table (storage/tablet.h): the latch
+  /// granularity, and the grain a staggered transformation migrates at.
+  /// Clamped to a power of two in [1, table_shards]. 1 (the default) = one
+  /// table-wide latch, bit-identical to the historical engine.
+  size_t table_tablets = 1;
   /// Multigranularity locking: every record operation first takes an
   /// intention lock (IS for reads, IX for writes) on the table, letting
   /// clients use table-granularity LockTable() S/X locks that exclude or

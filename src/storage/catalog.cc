@@ -4,13 +4,15 @@ namespace morph::storage {
 
 Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
                                                     Schema schema,
-                                                    size_t num_shards) {
+                                                    size_t num_shards,
+                                                    size_t num_tablets) {
   std::unique_lock lock(mu_);
   if (by_name_.count(name)) {
     return Status::AlreadyExists("table " + name + " already exists");
   }
   const TableId id = next_id_++;
-  auto table = std::make_shared<Table>(id, name, std::move(schema), num_shards);
+  auto table = std::make_shared<Table>(id, name, std::move(schema), num_shards,
+                                       num_tablets);
   by_name_[name] = table;
   by_id_[id] = table;
   return table;

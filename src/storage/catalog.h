@@ -28,9 +28,12 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// \brief Creates a table; fails with AlreadyExists on a name clash.
+  /// `num_tablets` is the table's latch granularity (storage/tablet.h);
+  /// 1 = the historical single table-wide latch.
   Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
                                              Schema schema,
-                                             size_t num_shards = 32);
+                                             size_t num_shards = 32,
+                                             size_t num_tablets = 1);
 
   /// \brief Removes the table from the catalog. Outstanding shared_ptr
   /// references keep the storage alive until released.

@@ -13,12 +13,15 @@ size_t RoundUpPow2(size_t n) {
 }
 }  // namespace
 
-Table::Table(TableId id, std::string name, Schema schema, size_t num_shards)
+Table::Table(TableId id, std::string name, Schema schema, size_t num_shards,
+             size_t num_tablets)
     : id_(id),
       name_(std::move(name)),
       schema_(std::move(schema)),
       shard_mask_(RoundUpPow2(num_shards) - 1),
-      shards_(shard_mask_ + 1) {}
+      shards_(shard_mask_ + 1),
+      tablets_(shard_mask_ + 1, num_tablets),
+      latches_(tablets_.num_tablets()) {}
 
 void Table::IndexAdd(const Record& record, const Row& pk) {
   MORPH_FAILPOINT_VOID("storage.index.add");

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "storage/index.h"
 #include "storage/record.h"
+#include "storage/tablet.h"
 
 namespace morph::storage {
 
@@ -29,14 +30,19 @@ namespace morph::storage {
 ///     the shard mutex (so individual records are never torn) but with
 ///     writers free to run between shards. The result is exactly the
 ///     transactionally inconsistent "fuzzy" image of paper §2.2/§3.2.
-///  2. **Table latch.** The table carries (but does not itself acquire) a
-///     reader-writer latch. engine::Database holds it in shared mode across
-///     each transactional operation (record lock + WAL append + apply); the
-///     synchronization step of a transformation takes it exclusively, which
-///     pauses all activity on the table for the final log-propagation pass
-///     (paper §3.4). Keeping acquisition at the engine layer avoids
-///     recursive shared acquisition, which could deadlock against a pending
-///     exclusive request.
+///  2. **Tablet latches.** The table carries (but does not itself acquire)
+///     one reader-writer latch per hash-range *tablet* (storage/tablet.h).
+///     engine::Database holds the latch of the tablet owning the touched
+///     key in shared mode across each transactional operation (record lock
+///     + WAL append + apply); the synchronization step of a transformation
+///     takes latches exclusively — all of them for a whole-table switch,
+///     one tablet's for a staggered per-tablet switch, which pauses only
+///     1/T of the keyspace (paper §3.4, shrunk to tablet grain). With
+///     num_tablets == 1 (the default) there is exactly one latch and the
+///     behavior is bit-identical to the historical whole-table latch.
+///     Keeping acquisition at the engine layer avoids recursive shared
+///     acquisition, which could deadlock against a pending exclusive
+///     request.
 ///
 /// Thread safety: all methods are safe to call concurrently.
 class Table {
@@ -45,7 +51,11 @@ class Table {
   /// \param name table name
   /// \param schema column layout and primary-key set
   /// \param num_shards power-of-two shard count for the hash heap
-  Table(TableId id, std::string name, Schema schema, size_t num_shards = 32);
+  /// \param num_tablets hash-range tablets (latch granularity); clamped to
+  ///        a power of two in [1, num_shards]. 1 = one table-wide latch,
+  ///        the historical behavior.
+  Table(TableId id, std::string name, Schema schema, size_t num_shards = 32,
+        size_t num_tablets = 1);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -163,8 +173,20 @@ class Table {
   /// \brief Index lookup by name; nullptr if absent.
   SecondaryIndex* GetIndex(const std::string& index_name) const;
 
-  /// \brief The table latch (shared = normal ops, exclusive = pause table).
-  std::shared_mutex& latch() const { return latch_; }
+  /// \brief Tablet geometry of this table (storage/tablet.h).
+  const TabletSpace& tablets() const { return tablets_; }
+  size_t num_tablets() const { return tablets_.num_tablets(); }
+
+  /// \brief The latch of the tablet owning `key` (shared = normal ops on
+  /// that key range, exclusive = pause the tablet).
+  std::shared_mutex& latch_for(const Row& key) const {
+    return latches_.at(tablets_.TabletOf(key));
+  }
+
+  /// \brief Latch of tablet `t` (for a transformation's per-tablet sync
+  /// pass, or a whole-table pause looping t = 0..num_tablets()-1 in index
+  /// order).
+  std::shared_mutex& tablet_latch(size_t t) const { return latches_.at(t); }
 
   /// \brief Row-count and per-record visitor used by recovery to rebuild.
   void Clear();
@@ -194,7 +216,8 @@ class Table {
   const size_t shard_mask_;
   std::vector<Shard> shards_;
 
-  mutable std::shared_mutex latch_;
+  const TabletSpace tablets_;
+  mutable TabletLatches latches_;
 
   mutable std::mutex indexes_mu_;
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;

@@ -1,0 +1,30 @@
+#include "storage/tablet.h"
+
+namespace morph::storage {
+
+namespace {
+bool IsPow2(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+size_t Log2(size_t pow2) {
+  size_t s = 0;
+  while ((size_t{1} << s) < pow2) ++s;
+  return s;
+}
+}  // namespace
+
+TabletSpace::TabletSpace(size_t num_shards, size_t num_tablets) {
+  num_shards_ = IsPow2(num_shards) ? num_shards : FloorPow2(num_shards);
+  if (num_tablets < 1) num_tablets = 1;
+  num_tablets_ = FloorPow2(num_tablets);
+  if (num_tablets_ > num_shards_) num_tablets_ = num_shards_;
+  shard_mask_ = num_shards_ - 1;
+  shard_shift_ = Log2(num_shards_ / num_tablets_);
+}
+
+}  // namespace morph::storage

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+
+#include "common/row.h"
+
+namespace morph::storage {
+
+/// \brief Hash-range tablet geometry over a table's shard space.
+///
+/// A table's hash heap is a power-of-two array of shards addressed by
+/// `key.Hash() & (num_shards - 1)`. A *tablet* is a contiguous range of
+/// those shards: tablet t of T owns shards [t*S/T, (t+1)*S/T). Because both
+/// S and T are powers of two, tablet membership is a pure function of the
+/// top bits of the shard index — every key belongs to exactly one tablet,
+/// and the mapping is stable for the lifetime of the table.
+///
+/// Two layers consume the geometry:
+///
+///  1. **storage::Table** sizes its latch array by it: one reader-writer
+///     latch per tablet instead of one per table, so a transformation's
+///     synchronization pass can pause 1/T of the keyspace while the other
+///     T-1 tablets keep serving (the tablet-stagger optimization). With
+///     num_tablets == 1 the geometry degenerates to a single latch covering
+///     everything — bit-identical to the historical whole-table latch.
+///  2. **transform::TabletTransformManager** partitions a transformation
+///     into per-tablet sub-transforms: the populate pipeline scans a
+///     tablet's shard range, the propagation stream filters ops by
+///     TabletOf(key), and the sync latch covers one tablet's latch range.
+///
+/// The two uses may run at different granularities: a table built with 16
+/// tablets can host a transform staggered over 4 — each transform-tablet
+/// then latches a contiguous *range* of table-tablets. The only requirement
+/// is that the coarser count divides the finer one, which power-of-two
+/// clamping guarantees.
+class TabletSpace {
+ public:
+  /// Clamps `num_tablets` to a power of two in [1, num_shards].
+  /// `num_shards` must already be a power of two (Table rounds up).
+  TabletSpace(size_t num_shards, size_t num_tablets);
+
+  size_t num_shards() const { return num_shards_; }
+  size_t num_tablets() const { return num_tablets_; }
+
+  size_t ShardOf(const Row& key) const { return key.Hash() & shard_mask_; }
+
+  size_t TabletOfShard(size_t shard) const {
+    return shard >> shard_shift_;
+  }
+
+  /// The tablet owning `key` — the top log2(T) bits of its shard index.
+  size_t TabletOf(const Row& key) const {
+    return TabletOfShard(ShardOf(key));
+  }
+
+  /// Shard range [begin, end) owned by tablet `t`.
+  size_t ShardBegin(size_t t) const { return t << shard_shift_; }
+  size_t ShardEnd(size_t t) const { return (t + 1) << shard_shift_; }
+
+ private:
+  size_t num_shards_;
+  size_t num_tablets_;
+  size_t shard_mask_;
+  /// log2(num_shards / num_tablets): shards per tablet, as a shift.
+  size_t shard_shift_;
+};
+
+/// \brief The per-tablet latch array a Table owns.
+///
+/// Semantics are unchanged from the historical single table latch, applied
+/// per key range: the engine holds the owning tablet's latch in *shared*
+/// mode for the span of each transactional operation (record lock + WAL
+/// append + apply); a transformation's synchronization step takes a
+/// tablet's latch *exclusively* to pause exactly that key range for the
+/// final propagation pass (paper §3.4, shrunk from table-wide to
+/// tablet-wide). Whole-table pauses (blocking reference transforms,
+/// non-staggered sync) take every latch in index order.
+class TabletLatches {
+ public:
+  explicit TabletLatches(size_t count)
+      : count_(count), latches_(std::make_unique<std::shared_mutex[]>(count)) {}
+
+  size_t count() const { return count_; }
+  std::shared_mutex& at(size_t i) const { return latches_[i]; }
+
+ private:
+  size_t count_;
+  std::unique_ptr<std::shared_mutex[]> latches_;
+};
+
+}  // namespace morph::storage

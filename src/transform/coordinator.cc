@@ -51,6 +51,39 @@ TransformCoordinator::TransformCoordinator(engine::Database* db,
   pc.maintain_locks = config_.maintain_locks;
   propagator_ = std::make_unique<LogPropagator>(db_->wal(), rules_.get(),
                                                 &tlocks_, &priority_, pc);
+
+  // Staggered-tablet resolution. Everything it depends on is known here
+  // (sources exist before Prepare; targets are created with the same
+  // DatabaseOptions geometry), and creating the manager in the constructor
+  // means the hook/housekeeping threads never race its publication.
+  // Clamps to the whole-table path (stagger_ == nullptr) whenever a
+  // precondition fails — see TransformConfig::tablets for the list.
+  if (config_.tablets > 1 && rules_->SupportsStaggeredTablets() &&
+      config_.strategy == SyncStrategy::kNonBlockingAbort &&
+      !config_.continuous && !config_.run_consistency_checker) {
+    size_t shards = 0;
+    size_t table_tablets = 0;
+    bool eligible = true;
+    for (const auto& src : rules_->Sources()) {
+      if (rules_->KeepSource(src->id())) {
+        eligible = false;
+        break;
+      }
+      if (shards == 0) {
+        shards = src->num_shards();
+        table_tablets = src->num_tablets();
+      } else if (src->num_shards() != shards ||
+                 src->num_tablets() != table_tablets) {
+        eligible = false;
+        break;
+      }
+    }
+    if (eligible && table_tablets > 1) {
+      auto mgr = std::make_unique<TabletTransformManager>(
+          shards, table_tablets, config_.tablets);
+      if (mgr->num_tablets() > 1) stagger_ = std::move(mgr);
+    }
+  }
 }
 
 TransformCoordinator::~TransformCoordinator() {
@@ -195,6 +228,12 @@ Result<TransformStats> TransformCoordinator::Run() {
       return stats;
     }
     hook_registered_.store(true, std::memory_order_release);
+  }
+
+  // Staggered path: steps 2–4 run as a sequence of per-tablet
+  // sub-transforms. The pin guard above stays in scope for the whole run.
+  if (stagger_ != nullptr) {
+    return RunStaggered(run_start, std::move(stats));
   }
 
   // Step 2: initial population (§3.2). The fuzzy mark carries the active-
@@ -383,8 +422,11 @@ Result<TransformStats> TransformCoordinator::Run() {
                 [](const auto& a, const auto& b) { return a->id() < b->id(); });
       const auto latch_start = Clock::Now();
       std::vector<std::unique_lock<std::shared_mutex>> latches;
-      latches.reserve(sources.size());
-      for (const auto& src : sources) latches.emplace_back(src->latch());
+      for (const auto& src : sources) {
+        for (size_t t = 0; t < src->num_tablets(); ++t) {
+          latches.emplace_back(src->tablet_latch(t));
+        }
+      }
       // a = tables latched, b = 0 (acquire) / latched nanos (release).
       MORPH_TRACE("transform.sync.latch_acquire",
                   static_cast<int64_t>(sources.size()), 0);
@@ -430,6 +472,13 @@ Result<TransformStats> TransformCoordinator::Run() {
     }
   }
 
+  // Post-switch drain + finalize/drop/complete tail, shared with the
+  // staggered path.
+  return FinishAndComplete(run_start, std::move(stats));
+}
+
+Result<TransformStats> TransformCoordinator::FinishAndComplete(
+    const Clock::TimePoint& run_start, TransformStats stats) {
   // Post-switch drain: finish propagating old transactions' records so
   // their mirrored locks get released, then drop the sources.
   {
@@ -479,6 +528,394 @@ Result<TransformStats> TransformCoordinator::Run() {
   stats.total_micros = Clock::MicrosSince(run_start);
   MORPH_COUNTER_INC("transform.runs_completed");
   return stats;
+}
+
+// --- staggered tablets ---------------------------------------------------------
+
+Result<size_t> TransformCoordinator::PropagateTabletPass(
+    size_t k, Lsn from, Lsn to, bool process_completions, bool throttled) {
+  propagator_->SetRecordFilter(stagger_->LocalFilter(k));
+  propagator_->set_process_completions(process_completions);
+  // Local cursor: a tablet pass re-reads a window the global stream owns
+  // (or will own); it must not move the shared cursor.
+  std::atomic<Lsn> cursor{from};
+  auto n = propagator_->PropagateRange(from, to, throttled, &cursor,
+                                       std::function<bool()>());
+  propagator_->SetRecordFilter(stagger_->GlobalFilter());
+  propagator_->set_process_completions(true);
+  return n;
+}
+
+Result<TransformStats> TransformCoordinator::RunStaggered(
+    const Clock::TimePoint& run_start, TransformStats stats) {
+  const size_t T = stagger_->num_tablets();
+  stats.tablets = T;
+  stats.tablet_latch_nanos.assign(T, 0);
+  propagator_->SetRecordFilter(stagger_->GlobalFilter());
+  rules_->set_throttle(&priority_);
+
+  // Failure after the first tablet has migrated is past the point of no
+  // return — that tablet's keys already live on the transformed tables and
+  // client transactions were switched to them — so it is handled like a
+  // drain failure: report, leave the (live) targets in place.
+  auto fail_late = [&](const std::string& reason) -> TransformStats {
+    db_->ClearTransformHook();
+    hook_registered_.store(false, std::memory_order_release);
+    tlocks_.Clear();
+    phase_.store(Phase::kAborted, std::memory_order_release);
+    stats.completed = false;
+    stats.abort_reason = reason;
+    FillPropagationStats(&stats);
+    stats.total_micros = Clock::MicrosSince(run_start);
+    MORPH_COUNTER_INC("transform.runs_aborted");
+    return stats;
+  };
+
+  // Phase A — staggered sub-population, one tablet at a time: begin-fuzzy
+  // mark, shard-scoped populate, local catch-up to the global cursor,
+  // activate, then a bounded global slice so later catch-up windows stay
+  // small. The whole-table path is exactly this loop with T = 1 minus the
+  // tablet bookkeeping.
+  phase_.store(Phase::kPopulating, std::memory_order_release);
+  for (size_t k = 0; k < T; ++k) {
+    MORPH_FAILPOINT("transform.tablet.boundary");
+    if (abort_requested_.load(std::memory_order_acquire)) {
+      AbortTransformation("abort requested", &stats);
+      return stats;
+    }
+    if (Clock::MicrosSince(run_start) > config_.max_duration_micros) {
+      AbortTransformation("transformation exceeded max duration", &stats);
+      return stats;
+    }
+
+    // Per-tablet begin-fuzzy mark: `guard` is read before the snapshot so a
+    // transaction beginning concurrently still has all its records at
+    // LSN > guard covered (same discipline as the whole-table mark).
+    MORPH_FAILPOINT("transform.fuzzy.begin");
+    const Lsn guard = db_->wal()->LastLsn();
+    const txn::ActiveSnapshot snap = db_->txns()->Snapshot();
+    {
+      wal::LogRecord mark;
+      mark.type = wal::LogRecordType::kFuzzyMark;
+      mark.active_txns = snap.txns;
+      mark.min_active_lsn = snap.min_first_lsn;
+      const Lsn mark_lsn = db_->wal()->Append(std::move(mark));
+      MORPH_TRACE("transform.fuzzy.begin_mark", static_cast<int64_t>(mark_lsn),
+                  static_cast<int64_t>(snap.txns.size()));
+    }
+    Lsn start_k = guard + 1;
+    if (snap.min_first_lsn != kInvalidLsn && snap.min_first_lsn < start_k) {
+      start_k = snap.min_first_lsn;
+    }
+    if (k == 0) {
+      // The run's WAL retention requirement: later tablets' floors can only
+      // be higher (min-active and the log tail both advance), so the first
+      // floor covers every local catch-up window (see propagated_lsn()).
+      stagger_start_floor_.store(start_k, std::memory_order_release);
+      retention_floor_.store(start_k, std::memory_order_release);
+    }
+
+    {
+      PopulateConfig populate_config;
+      populate_config.workers = config_.populate_workers;
+      populate_config.shard_begin = stagger_->ShardBegin(k);
+      populate_config.shard_end = stagger_->ShardEnd(k);
+      populate_config.accumulate = true;
+      rules_->set_populate_config(populate_config);
+      const auto t0 = Clock::Now();
+      const Status st = rules_->InitialPopulate();
+      stats.populate_micros += Clock::MicrosSince(t0);
+      if (!st.ok()) {
+        AbortTransformation("initial population failed: " + st.ToString(),
+                            &stats);
+        return stats;
+      }
+    }
+    {
+      wal::LogRecord mark;
+      mark.type = wal::LogRecordType::kFuzzyMark;
+      const txn::ActiveSnapshot snap2 = db_->txns()->Snapshot();
+      mark.active_txns = snap2.txns;
+      mark.min_active_lsn = snap2.min_first_lsn;
+      const Lsn mark_lsn = db_->wal()->Append(std::move(mark));
+      MORPH_TRACE("transform.fuzzy.end_mark", static_cast<int64_t>(mark_lsn),
+                  static_cast<int64_t>(stats.populate_micros));
+    }
+    MORPH_FAILPOINT("transform.fuzzy.end");
+
+    if (k == 0) {
+      // The global cursor starts at the first tablet's floor — there is
+      // nothing behind it to catch up on.
+      next_lsn_ = start_k;
+    } else {
+      // Local catch-up: the global stream already passed over [start_k, G)
+      // with this tablet pending (its records were skipped); re-read the
+      // window applying only tablet k. Completion records are processed —
+      // releasing a transaction the global stream already released is a
+      // no-op, and one whose ops this pass just mirrored must be released
+      // if its completion falls inside the window.
+      const Lsn g = next_lsn_.load(std::memory_order_acquire);
+      if (g > start_k) {
+        auto n = PropagateTabletPass(k, start_k, g - 1,
+                                     /*process_completions=*/true,
+                                     /*throttled=*/true);
+        if (!n.ok()) {
+          AbortTransformation(
+              "tablet catch-up failed: " + n.status().ToString(), &stats);
+          return stats;
+        }
+        stats.log_records_processed += *n;
+      }
+    }
+    stagger_->Activate(k, start_k);
+
+    // Bounded global slice between tablets: keep the shared cursor near the
+    // log tail so the next tablet's catch-up window stays small.
+    {
+      const size_t cap = config_.batch_size * 16;
+      const Lsn from = next_lsn_.load(std::memory_order_acquire);
+      Lsn end = db_->wal()->LastLsn();
+      if (end >= from && end - from + 1 > cap) end = from + cap - 1;
+      if (end >= from) {
+        auto n = PropagateRange(from, end, /*throttled=*/true);
+        if (!n.ok()) {
+          AbortTransformation("propagation failed: " + n.status().ToString(),
+                              &stats);
+          return stats;
+        }
+        stats.log_records_processed += *n;
+      }
+    }
+  }
+
+  // Phase B — global convergence: the whole-table step-3 loop minus the
+  // features the constructor already clamped away (continuous mode, the
+  // consistency checker).
+  phase_.store(Phase::kPropagating, std::memory_order_release);
+  {
+    const auto t0 = Clock::Now();
+    size_t lag_count = 0;
+    size_t last_backlog = std::numeric_limits<size_t>::max();
+    while (true) {
+      MORPH_FAILPOINT("transform.propagate.iteration");
+      if (abort_requested_.load(std::memory_order_acquire)) {
+        stats.propagate_micros = Clock::MicrosSince(t0);
+        AbortTransformation("abort requested", &stats);
+        return stats;
+      }
+      if (Clock::MicrosSince(run_start) > config_.max_duration_micros) {
+        stats.propagate_micros = Clock::MicrosSince(t0);
+        AbortTransformation("transformation exceeded max duration", &stats);
+        return stats;
+      }
+      if (paused_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        lag_count = 0;
+        last_backlog = std::numeric_limits<size_t>::max();
+        continue;
+      }
+      size_t iteration_cap = config_.max_records_per_iteration
+                                 ? config_.max_records_per_iteration
+                                 : config_.batch_size * 16;
+      iteration_cap = std::max(
+          config_.batch_size,
+          static_cast<size_t>(static_cast<double>(iteration_cap) *
+                              priority_.priority()));
+      Lsn end = db_->wal()->LastLsn();
+      if (end >= next_lsn_ && end - next_lsn_ + 1 > iteration_cap) {
+        end = next_lsn_ + iteration_cap - 1;
+      }
+      if (end >= next_lsn_) {
+        auto n = PropagateRange(next_lsn_, end, /*throttled=*/true);
+        if (!n.ok()) {
+          stats.propagate_micros = Clock::MicrosSince(t0);
+          AbortTransformation("propagation failed: " + n.status().ToString(),
+                              &stats);
+          return stats;
+        }
+        stats.log_records_processed += *n;
+      }
+      stats.iterations++;
+      MORPH_COUNTER_INC("transform.propagate.iterations");
+
+      const Lsn tail = db_->wal()->LastLsn();
+      const size_t backlog = tail >= next_lsn_ ? tail - next_lsn_ + 1 : 0;
+      MORPH_GAUGE_SET("transform.backlog", static_cast<int64_t>(backlog));
+      MORPH_GAUGE_SET("transform.priority.requested_ppm",
+                      static_cast<int64_t>(priority_.priority() * 1e6));
+      MORPH_GAUGE_SET(
+          "transform.priority.achieved_ppm",
+          static_cast<int64_t>(priority_.totals().achieved() * 1e6));
+      if (backlog <= config_.sync_threshold && rules_->ReadyForSync() &&
+          !sync_hold_.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (backlog > config_.sync_threshold && backlog >= last_backlog) {
+        lag_count++;
+      } else {
+        lag_count = 0;
+      }
+      last_backlog = backlog;
+      if (lag_count >= config_.lag_iterations) {
+        if (config_.on_lag == OnLag::kBoostPriority &&
+            priority_.priority() < 1.0) {
+          priority_.set_priority(priority_.priority() * 2.0);
+          lag_count = 0;
+        } else {
+          stats.propagate_micros = Clock::MicrosSince(t0);
+          AbortTransformation("propagator cannot keep up with log generation",
+                              &stats);
+          return stats;
+        }
+      }
+      if (stats.iterations >= config_.max_iterations) {
+        stats.propagate_micros = Clock::MicrosSince(t0);
+        AbortTransformation("max propagation iterations reached", &stats);
+        return stats;
+      }
+      if (backlog == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    }
+    stats.propagate_micros += Clock::MicrosSince(t0);
+  }
+
+  // Phase C — per-tablet synchronization: converge, latch only tablet k of
+  // every source (id order, then latch-index order), one short local pass
+  // to the log end, advance the epoch, migrate. Writers on the other T-1
+  // tablets never see a latch; the per-key pause is one tablet's window
+  // instead of the whole catch-up.
+  phase_.store(Phase::kSynchronizing, std::memory_order_release);
+  const auto sync_t0 = Clock::Now();
+  MORPH_FAILPOINT("transform.sync.before_latch");
+  std::vector<std::shared_ptr<storage::Table>> sources = rules_->Sources();
+  std::sort(sources.begin(), sources.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+  // Converge to the log tail before the first latch — all the way, not
+  // merely to the sync threshold. Every record applied here (completions
+  // on, no latch held) is one no latched pass will have to scan, so each
+  // tablet's user-visible pause is O(records landed since the previous
+  // tablet), not O(standing backlog). This is the structural win over the
+  // whole-table path, which has no choice but to take its one latch with
+  // the backlog still standing. Pass count bounded so a firehose writer
+  // cannot livelock the switch: past the bound, the latches absorb
+  // whatever tail remains — correct, just longer pauses.
+  auto converge_unlatched = [&](size_t max_passes, size_t floor) -> Status {
+    for (size_t pass = 0; pass < max_passes; ++pass) {
+      const Lsn from = next_lsn_.load(std::memory_order_acquire);
+      const Lsn tail = db_->wal()->LastLsn();
+      if (tail < from || tail - from + 1 <= floor) break;
+      auto n = PropagateRange(from, tail, /*throttled=*/false);
+      if (!n.ok()) {
+        return Status::Internal("pre-sync convergence failed: " +
+                                n.status().ToString());
+      }
+      stats.log_records_processed += *n;
+      if (Clock::MicrosSince(run_start) > config_.max_duration_micros) {
+        return Status::Internal("transformation exceeded max duration");
+      }
+    }
+    return Status::OK();
+  };
+  if (Status st = converge_unlatched(64, config_.batch_size); !st.ok()) {
+    AbortTransformation(std::string(st.message()), &stats);
+    return stats;
+  }
+  for (size_t k = 0; k < T; ++k) {
+    MORPH_FAILPOINT("transform.tablet.boundary");
+    if (abort_requested_.load(std::memory_order_acquire) &&
+        !stagger_->AnyMigrated()) {
+      AbortTransformation("abort requested", &stats);
+      return stats;
+    }
+    // Light re-converge: the cursor is already near the tail, only the
+    // records landed since the previous tablet's latch are behind it. The
+    // tighter floor shrinks the window the latched pass has to replay —
+    // and with it the chance of that pass conflicting with a live writer
+    // while holding the latch.
+    if (Status st = converge_unlatched(8, config_.batch_size / 8); !st.ok()) {
+      if (stagger_->AnyMigrated()) return fail_late(std::string(st.message()));
+      AbortTransformation(std::string(st.message()), &stats);
+      return stats;
+    }
+
+    int64_t latch_nanos = 0;
+    {
+      const auto latch_start = Clock::Now();
+      std::vector<std::unique_lock<std::shared_mutex>> latches;
+      for (const auto& src : sources) {
+        for (size_t t = stagger_->TableTabletBegin(k);
+             t < stagger_->TableTabletEnd(k); ++t) {
+          latches.emplace_back(src->tablet_latch(t));
+        }
+      }
+      // a = tables latched, b = tablet index (acquire) / nanos (release).
+      MORPH_TRACE("transform.sync.latch_acquire",
+                  static_cast<int64_t>(sources.size()),
+                  static_cast<int64_t>(k));
+      // Under the tablet latch; a crash here unwinds the RAII latches,
+      // exactly as a real process kill would discard them.
+      MORPH_FAILPOINT("transform.tablet.sync");
+
+      const Lsn end = db_->wal()->LastLsn();
+      const Lsn g = next_lsn_.load(std::memory_order_acquire);
+      if (end >= g) {
+        // A *global* pass, completions on, exactly like the whole-table
+        // final pass (just over a far smaller window): every tablet is
+        // activated by now, so the stream has nothing to skip, and
+        // processing completions in order is what keeps this pass from
+        // blocking on a stale mirrored lock — a tablet-scoped pass that
+        // skipped completions could wait out a full lock timeout under the
+        // latch when a later record conflicted with the mirror of an
+        // earlier-committed transaction whose completion it had skipped.
+        auto n = PropagateRange(g, end, /*throttled=*/false);
+        if (!n.ok()) {
+          const std::string reason =
+              "tablet sync pass failed: " + n.status().ToString();
+          if (stagger_->AnyMigrated()) return fail_late(reason);
+          AbortTransformation(reason, &stats);
+          return stats;
+        }
+        stats.log_records_processed += *n;
+      }
+
+      const txn::TxnEpoch sw = db_->AdvanceEpoch();
+      // Old transactions holding source locks on this tablet's keys are
+      // doomed (non-blocking abort, applied per tablet).
+      for (const auto& t : db_->txns()->ActiveBefore(sw)) {
+        for (const txn::RecordId& rid : db_->locks()->LocksOf(t->id())) {
+          if (IsSourceTable(rid.table) && stagger_->TabletOf(rid.key) == k) {
+            stats.txns_doomed++;
+            break;
+          }
+        }
+      }
+      stagger_->MarkMigrated(k, end, sw, Clock::NanosSince(latch_start));
+      if (k + 1 == T) {
+        // The last tablet completes the switch; from here the whole-table
+        // post-switch machinery (hook, drain) takes over.
+        switch_epoch_.store(sw, std::memory_order_release);
+        switched_.store(true, std::memory_order_release);
+      }
+      latch_nanos = stagger_->latch_nanos(k);
+      stats.tablet_latch_nanos[k] = latch_nanos;
+    }
+    MORPH_TRACE("transform.sync.latch_release",
+                static_cast<int64_t>(sources.size()), latch_nanos);
+  }
+  stats.sync_micros = Clock::MicrosSince(sync_t0);
+  for (int64_t nanos : stats.tablet_latch_nanos) {
+    stats.sync_latch_nanos = std::max(stats.sync_latch_nanos, nanos);
+    MORPH_HISTOGRAM_NANOS("transform.sync.latch_nanos", nanos);
+  }
+  stats.sync_latch_micros = stats.sync_latch_nanos / 1000;
+  MORPH_COUNTER_ADD("transform.txns_doomed", stats.txns_doomed);
+  MORPH_FAILPOINT("transform.sync.after_switch");
+
+  // Phase D — drain + finalize/drop/complete, shared with the whole-table
+  // path. The global filter stays installed: migrated tablets keep applying
+  // records newer than their sync pass (draining pre-switch writers).
+  return FinishAndComplete(run_start, std::move(stats));
 }
 
 Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
@@ -531,8 +968,11 @@ Status TransformCoordinator::SynchronizeAndSwitch(TransformStats* stats) {
   {
     const auto latch_start = Clock::Now();
     std::vector<std::unique_lock<std::shared_mutex>> latches;
-    latches.reserve(sources.size());
-    for (const auto& src : sources) latches.emplace_back(src->latch());
+    for (const auto& src : sources) {
+      for (size_t t = 0; t < src->num_tablets(); ++t) {
+        latches.emplace_back(src->tablet_latch(t));
+      }
+    }
     // a = tables latched, b = 0 (acquire) / latched nanos (release).
     MORPH_TRACE("transform.sync.latch_acquire",
                 static_cast<int64_t>(sources.size()), 0);
@@ -658,6 +1098,35 @@ Status TransformCoordinator::OnOp(TxnId txn, txn::TxnEpoch epoch, TableId table,
   }
 
   if (!switched_.load(std::memory_order_acquire)) {
+    // Staggered partial-migration window: tablets that already migrated
+    // behave post-switch (per-tablet epoch), the rest behave pre-switch.
+    if (stagger_ != nullptr && stagger_->AnyMigrated()) {
+      if (is_source) {
+        const size_t k = stagger_->TabletOf(pk);
+        if (stagger_->state(k) == TabletState::kMigrated) {
+          if (epoch >= stagger_->switch_epoch(k)) {
+            return Status::Aborted(
+                "table was transformed; access the transformed tables "
+                "instead");
+          }
+          return Status::Aborted(
+              "transaction doomed by schema transformation switch-over");
+        }
+        // Unmigrated tablet: pre-switch behavior (locks mirrored by the
+        // propagator).
+        return Status::OK();
+      }
+      // Target-table access is admitted per tablet, but only where the
+      // target's keys partition the same way as the source's (otherwise a
+      // record on this table may still be mid-migration even though the
+      // key's source tablet migrated).
+      if (rules_->TargetTabletAligned(table) && stagger_->IsMigratedKey(pk)) {
+        return tlocks_.AcquireTarget(txn, txn::RecordId{table, pk}, access,
+                                     may_block);
+      }
+      return Status::InvalidArgument(
+          "table is still being built by a schema transformation");
+    }
     if (is_target) {
       if (config_.continuous && access == txn::Access::kRead) {
         // A maintained materialized view is readable while it converges.
@@ -721,7 +1190,23 @@ Status TransformCoordinator::OnOp(TxnId txn, txn::TxnEpoch epoch, TableId table,
 }
 
 Status TransformCoordinator::OnCommit(TxnId txn, txn::TxnEpoch epoch) {
-  if (!switched_.load(std::memory_order_acquire)) return Status::OK();
+  if (!switched_.load(std::memory_order_acquire)) {
+    // Staggered: a transaction older than tablet k's switch that still holds
+    // source locks on k is doomed even though the table-wide switch is
+    // pending (its writes there can no longer be propagated consistently).
+    if (stagger_ != nullptr && stagger_->AnyMigrated()) {
+      for (const txn::RecordId& rid : db_->locks()->LocksOf(txn)) {
+        if (!IsSourceTable(rid.table)) continue;
+        const size_t k = stagger_->TabletOf(rid.key);
+        if (stagger_->state(k) == TabletState::kMigrated &&
+            epoch < stagger_->switch_epoch(k)) {
+          return Status::Aborted(
+              "transaction doomed by schema transformation switch-over");
+        }
+      }
+    }
+    return Status::OK();
+  }
   if (epoch >= switch_epoch_.load(std::memory_order_acquire)) return Status::OK();
   if (config_.strategy == SyncStrategy::kNonBlockingCommit) return Status::OK();
   // Blocking commit / non-blocking abort: an old transaction still holding
@@ -736,12 +1221,23 @@ Status TransformCoordinator::OnCommit(TxnId txn, txn::TxnEpoch epoch) {
 }
 
 void TransformCoordinator::OnTxnFinished(TxnId txn, txn::TxnEpoch epoch) {
-  if (switched_.load(std::memory_order_acquire) &&
-      epoch >= switch_epoch_.load(std::memory_order_acquire)) {
-    // Post-switch transactions release their target locks directly; old
-    // transactions' transferred locks are released by the propagator when
-    // it processes their completion record (§3.4).
-    tlocks_.ReleaseTxn(txn);
+  if (switched_.load(std::memory_order_acquire)) {
+    if (epoch >= switch_epoch_.load(std::memory_order_acquire)) {
+      // Post-switch transactions release their target locks directly; old
+      // transactions' transferred locks are released by the propagator when
+      // it processes their completion record (§3.4).
+      tlocks_.ReleaseTxn(txn);
+    } else if (stagger_ != nullptr) {
+      // Staggered run: a pre-switch transaction may nonetheless hold target
+      // locks taken on tablets that migrated before it finished. Release
+      // only those — its mirrored source locks must stay until the
+      // propagator has applied its remaining ops (completion record, §3.4).
+      tlocks_.ReleaseTxnTargetLocks(txn);
+    }
+    return;
+  }
+  if (stagger_ != nullptr && stagger_->AnyMigrated()) {
+    tlocks_.ReleaseTxnTargetLocks(txn);
   }
 }
 

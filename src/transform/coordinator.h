@@ -8,12 +8,14 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/clock.h"
 #include "engine/database.h"
 #include "engine/transform_hook.h"
 #include "transform/operator_rules.h"
 #include "transform/priority.h"
 #include "transform/propagator.h"
 #include "transform/table_id_set.h"
+#include "transform/tablet_manager.h"
 #include "txn/transform_locks.h"
 
 namespace morph::transform {
@@ -110,6 +112,18 @@ struct TransformConfig {
   /// Scan work is partitioned by storage shard and operator build state by
   /// key hash, so any worker count yields the same target tables.
   size_t populate_workers = 0;
+  /// Hash-range tablets to stagger the transformation across (see
+  /// transform/tablet_manager.h): each tablet gets its own fuzzy scan,
+  /// catch-up, and tablet-wide sync latch, so a concurrent writer only ever
+  /// sees a latch covering 1/T of the key space. 1 = the whole-table path,
+  /// bit-identical to a build without the tablet layer. Values > 1 are
+  /// clamped back to 1 when staggering cannot apply: the operator does not
+  /// decompose by tablet (FOJ), the strategy is not non-blocking abort,
+  /// continuous mode, the §5.3 consistency checker (it verifies against
+  /// whole-table scans), a source is kept (§5.2 reuse), or the involved
+  /// tables do not share a multi-tablet latch geometry
+  /// (DatabaseOptions::table_tablets).
+  size_t tablets = 1;
 };
 
 /// \brief Per-run statistics returned by TransformCoordinator::Run().
@@ -167,6 +181,14 @@ struct TransformStats {
   size_t adaptive_expansions = 0;
   /// Log records processed per second of wall-clock propagation time.
   double propagate_records_per_sec = 0.0;
+
+  /// Staggered-tablet shape: resolved tablet count (1 = whole-table path;
+  /// the configured value may have been clamped, see TransformConfig) and
+  /// each tablet's individual latched pause. For a staggered run
+  /// sync_latch_nanos above reports the *maximum* per-tablet pause — the
+  /// worst any single key's writer could have observed — not the sum.
+  size_t tablets = 1;
+  std::vector<int64_t> tablet_latch_nanos;
 };
 
 /// \brief Drives a transformation through the paper's four steps:
@@ -267,7 +289,27 @@ class TransformCoordinator : public engine::TransformHook {
   Lsn propagated_lsn() const {
     const Lsn next = next_lsn_.load(std::memory_order_acquire);
     if (next == kInvalidLsn) return kInvalidLsn;
-    return std::min(next, propagator_->FloorLsn());
+    Lsn floor = std::min(next, propagator_->FloorLsn());
+    if (stagger_ != nullptr && !stagger_->AllActivated()) {
+      // A staggered run's global cursor races ahead of tablets that have
+      // not been populated yet; their local catch-up passes re-read the log
+      // from the run's first begin-fuzzy floor, so truncation must hold
+      // there until every tablet is active. The floor is fixed once (first
+      // tablet's mark) and only ever replaced by the larger live watermark,
+      // so the pin stays monotone.
+      const Lsn stagger_floor =
+          stagger_start_floor_.load(std::memory_order_acquire);
+      if (stagger_floor != kInvalidLsn && stagger_floor < floor) {
+        floor = stagger_floor;
+      }
+    }
+    return floor;
+  }
+
+  /// The staggered-tablet state, or nullptr on the whole-table path —
+  /// exposed for tests and observability.
+  const TabletTransformManager* tablet_manager() const {
+    return stagger_.get();
   }
 
   const OperatorRules* rules() const { return rules_.get(); }
@@ -290,6 +332,24 @@ class TransformCoordinator : public engine::TransformHook {
   /// The common synchronization core: latch sources exclusively, propagate
   /// to the log end, flip the switch atomically w.r.t. gated operations.
   Status SynchronizeAndSwitch(TransformStats* stats);
+  /// Steps 2–4 of a staggered run (stagger_ != nullptr): one per-tablet
+  /// sub-transform sequence — fuzzy scan, scoped populate, local catch-up,
+  /// activation — then global convergence, per-tablet latched sync, and the
+  /// shared drain/finalize epilogue. Called from Run() with the WAL
+  /// retention pin already registered.
+  Result<TransformStats> RunStaggered(const Clock::TimePoint& run_start,
+                                      TransformStats stats);
+  /// One local pass for transform tablet `k`: processes [from, to] through
+  /// the pipeline applying only tablet k's data records, without moving the
+  /// global cursor, then restores the global filter. `process_completions`
+  /// is false for the latched sync pass (see
+  /// LogPropagator::set_process_completions).
+  Result<size_t> PropagateTabletPass(size_t k, Lsn from, Lsn to,
+                                     bool process_completions, bool throttled);
+  /// Post-switch tail shared by both paths: drain, finalize, drop sources,
+  /// clear the hook, mark completed.
+  Result<TransformStats> FinishAndComplete(const Clock::TimePoint& run_start,
+                                           TransformStats stats);
   /// Post-switch drain: keep propagating until every pre-switch transaction
   /// has finished and the propagator has caught up.
   Status Drain(TransformStats* stats);
@@ -338,8 +398,19 @@ class TransformCoordinator : public engine::TransformHook {
   txn::TxnEpoch gate_epoch_ = 0;  ///< guarded by gate_mu_
 
   /// Set at switch-over. Transactions with epoch < switch_epoch_ are "old".
+  /// A staggered run flips these only when its *last* tablet migrates; the
+  /// partial-migration window in between is governed per tablet by
+  /// stagger_'s state (see OnOp / OnCommit / OnTxnFinished).
   std::atomic<bool> switched_{false};
   std::atomic<txn::TxnEpoch> switch_epoch_{0};
+
+  /// Staggered-tablet state; nullptr = whole-table path. Created in the
+  /// constructor (never mutated afterwards), so hook and housekeeping
+  /// threads may read the pointer without synchronization.
+  std::unique_ptr<TabletTransformManager> stagger_;
+  /// First tablet's begin-fuzzy floor — the staggered run's WAL retention
+  /// requirement until every tablet is active (see propagated_lsn()).
+  std::atomic<Lsn> stagger_start_floor_{kInvalidLsn};
 
   /// Source/target table id caches (valid after Prepare). The vectors keep
   /// OperatorRules order (source_ids_[0] owns LockOrigin::kSource0); the

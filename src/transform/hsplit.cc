@@ -34,7 +34,9 @@ Status HorizontalSplitRules::InitialPopulate() {
       [&](PopulateWorker& w) -> Status {
         BatchSink r_sink(r_.get(), BatchSink::Mode::kInsert, &w);
         BatchSink s_sink(s_.get(), BatchSink::Mode::kInsert, &w);
-        for (size_t sh = w.index(); sh < t_src_->num_shards();
+        const PopulateConfig& config = populate_config();
+        const size_t hi = config.ClampedShardEnd(t_src_->num_shards());
+        for (size_t sh = config.shard_begin + w.index(); sh < hi;
              sh += w.partitions()) {
           for (storage::Record& rec : t_src_->SnapshotShard(sh)) {
             storage::Record copy;

@@ -91,6 +91,12 @@ class HorizontalSplitRules : public OperatorRules {
   }
   Status DropTargets() override;
 
+  /// Targets are verbatim T-keyed copies: every rule touches only records
+  /// with the op's own key (see RoutingKey), and both sides preserve the
+  /// source primary key, so the operator decomposes by hash-range tablet
+  /// and both targets stay tablet-aligned.
+  bool SupportsStaggeredTablets() const override { return true; }
+
   const std::shared_ptr<storage::Table>& r_table() const { return r_; }
   const std::shared_ptr<storage::Table>& s_table() const { return s_; }
 

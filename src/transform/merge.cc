@@ -55,8 +55,10 @@ Status MergeRules::InitialPopulate() {
       throttle_controller(), populate_config(),
       [&](PopulateWorker& w) -> Status {
         BatchSink sink(t_.get(), BatchSink::Mode::kLsnUpsert, &w);
+        const PopulateConfig& config = populate_config();
         for (const auto& src : {r_, s_}) {
-          for (size_t sh = w.index(); sh < src->num_shards();
+          const size_t hi = config.ClampedShardEnd(src->num_shards());
+          for (size_t sh = config.shard_begin + w.index(); sh < hi;
                sh += w.partitions()) {
             for (storage::Record& rec : src->SnapshotShard(sh)) {
               storage::Record copy;

@@ -63,6 +63,12 @@ class MergeRules : public OperatorRules {
   }
   Status DropTargets() override;
 
+  /// Every rule is an LSN-gated redo against T[k] where k is the op's own
+  /// (pk-preserving) key, so the merge decomposes by hash-range tablet.
+  /// Both sources share one tablet geometry (uniform DatabaseOptions), so
+  /// "tablet k" names the same key set in R, S, and T.
+  bool SupportsStaggeredTablets() const override { return true; }
+
   const std::shared_ptr<storage::Table>& target() const { return t_; }
 
   struct Counters {

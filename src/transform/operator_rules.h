@@ -148,6 +148,27 @@ class OperatorRules {
     return false;
   }
 
+  /// \brief True when the operator can run as a staggered sequence of
+  /// per-tablet sub-transforms (transform/tablet_manager.h). Requires that
+  /// every propagation rule is LSN-gated per target record and decomposes by
+  /// source primary key (so the key's hash-range tablet fully determines
+  /// which target records an op can touch). Split, hsplit, and merge
+  /// qualify; the FOJ does not — non-insert ops route through a barrier and
+  /// an insert's effect depends on join-value state across the whole table.
+  /// Default: not staggerable (the coordinator clamps to one tablet).
+  virtual bool SupportsStaggeredTablets() const { return false; }
+
+  /// \brief True when target table `id`'s records are keyed so that a
+  /// source key in tablet k lands in target tablet k (same hash-range),
+  /// letting a migrated-tablet client op acquire target locks that actually
+  /// cover it. The split's S-side aggregates many source keys per bucket,
+  /// so it is not aligned; everything pk-preserving is. Only consulted when
+  /// SupportsStaggeredTablets(). Default: aligned.
+  virtual bool TargetTabletAligned(TableId id) const {
+    (void)id;
+    return true;
+  }
+
   /// \brief Installs the coordinator's priority controller so the bulky
   /// operator-internal work (initial population, CC scans) also runs at the
   /// transformation's background duty cycle. May be nullptr (no throttle).

@@ -29,6 +29,21 @@ struct PopulateConfig {
   /// Records per BatchSink flush; also the throttle-payment granularity,
   /// matching the serial operators' historical 256-record slices.
   size_t batch_size = 256;
+  /// Source-shard scan range [shard_begin, min(shard_end, num_shards)) —
+  /// how a staggered tablet transform scopes an operator's populate scan to
+  /// one tablet's shard range (storage/tablet.h). The defaults cover the
+  /// whole table, which is the non-staggered path unchanged.
+  size_t shard_begin = 0;
+  size_t shard_end = static_cast<size_t>(-1);
+  /// Staggered mode: the targets may already hold earlier tablets' records,
+  /// so population must *merge into* existing operator state (the split's
+  /// S-side accumulates into stored buckets via Table::Rmw) instead of
+  /// assuming it writes first. Off on the whole-table path.
+  bool accumulate = false;
+
+  size_t ClampedShardEnd(size_t num_shards) const {
+    return shard_end < num_shards ? shard_end : num_shards;
+  }
 };
 
 class PopulateWorker;

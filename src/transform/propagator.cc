@@ -300,6 +300,10 @@ Status LogPropagator::ProcessRecord(const wal::LogRecord& rec) {
     case wal::LogRecordType::kUpdate:
     case wal::LogRecordType::kClr: {
       if (!sources_.contains(rec.table_id)) return Status::OK();
+      if (record_filter_ && !record_filter_(rec)) {
+        MORPH_COUNTER_INC("transform.tablet.ops_skipped");
+        return Status::OK();
+      }
       auto op = Op::FromLogRecord(rec);
       if (!op) return Status::OK();
       const txn::LockOrigin origin = rec.table_id == primary_source_
@@ -314,6 +318,7 @@ Status LogPropagator::ProcessRecord(const wal::LogRecord& rec) {
       // the lock owner transaction" (§3.4). With workers, the release is
       // deferred until the floor passes this LSN (see class comment) so
       // commits do not serialize the pipeline.
+      if (!process_completions_) return Status::OK();
       if (cur_workers_ == 0) {
         tlocks_->ReleaseTxn(rec.txn_id);
       } else {

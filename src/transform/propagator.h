@@ -144,6 +144,26 @@ class LogPropagator {
   /// LockOrigin::kSource0, any other kSource1.
   void SetSources(const std::vector<TableId>& source_ids);
 
+  /// \brief Installs (or clears, with nullptr) a per-record data filter for
+  /// staggered tablet propagation: a source-table data record for which the
+  /// predicate returns false is skipped (counted in
+  /// `transform.tablet.ops_skipped`), exactly as if it belonged to a
+  /// non-source table. Completion/CC records are unaffected. Reader-thread
+  /// only; must not be changed while a PropagateRange is in flight.
+  void SetRecordFilter(std::function<bool(const wal::LogRecord&)> filter) {
+    record_filter_ = std::move(filter);
+  }
+
+  /// \brief When false, kCommit/kTxnEnd records are ignored instead of
+  /// releasing the transaction's mirrored locks. A staggered tablet's
+  /// latched sync pass runs with completions off: it re-reads a window the
+  /// global stream will read again, and releasing a transaction there would
+  /// drop locks covering its not-yet-applied ops on *other* tablets.
+  /// Reader-thread only, default true.
+  void set_process_completions(bool process) {
+    process_completions_ = process;
+  }
+
   /// \brief Processes log records [from, to]; returns the count processed.
   /// On return every processed op has been fully applied (workers drained)
   /// and every deferred lock release flushed. `next_lsn` is kept at the
@@ -238,6 +258,11 @@ class LogPropagator {
 
   TableIdSet sources_;
   TableId primary_source_ = 0;  ///< LockOrigin::kSource0
+
+  /// Staggered-tablet record filter (null = pass everything) and the
+  /// completion-processing toggle. Reader-thread only.
+  std::function<bool(const wal::LogRecord&)> record_filter_;
+  bool process_completions_ = true;
 
   /// kMutex path workers (empty when serial or kRing).
   std::vector<std::unique_ptr<Worker>> workers_;

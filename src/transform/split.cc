@@ -138,7 +138,8 @@ Status SplitRules::InitialPopulate() {
       throttle_controller(), config, [&](PopulateWorker& w) -> Status {
         BatchSink r_sink(r_.get(), BatchSink::Mode::kInsert, &w);
         std::vector<AccumMap>& mine = accums[w.index()];
-        for (size_t sh = w.index(); sh < t_src_->num_shards();
+        const size_t hi = config.ClampedShardEnd(t_src_->num_shards());
+        for (size_t sh = config.shard_begin + w.index(); sh < hi;
              sh += w.partitions()) {
           for (const storage::Record& rec : t_src_->SnapshotShard(sh)) {
             storage::Record r_rec;
@@ -185,6 +186,45 @@ Status SplitRules::InitialPopulate() {
               into.image = std::move(acc.image);
             }
           }
+        }
+        if (config.accumulate) {
+          // Staggered mode: earlier tablets' scans already stored partial
+          // buckets, so this tablet's partials fold *into* them under the
+          // shard mutex with the same merge rule as the cross-scanner merge
+          // above. The union over all tablets of disjoint shard-range scans
+          // contributes each T record exactly once, so the final counters
+          // and max-LSN images equal the whole-table scan's.
+          using Action = storage::Table::RmwAction;
+          size_t since_pay = 0;
+          for (auto& [s_key, acc] : merged) {
+            MORPH_RETURN_NOT_OK(s_->Rmw(s_key, [&](storage::Record* rec,
+                                                   bool exists) {
+              if (!exists) {
+                rec->row = std::move(acc.image);
+                rec->lsn = acc.lsn;
+                rec->counter = acc.counter;
+                rec->consistent = spec_.assume_consistent || acc.consistent;
+                return Action::kPut;
+              }
+              rec->counter += acc.counter;
+              if (!spec_.assume_consistent &&
+                  !(rec->consistent && acc.consistent &&
+                    rec->row == acc.image)) {
+                rec->consistent = false;
+              }
+              if (acc.lsn > rec->lsn) {
+                rec->lsn = acc.lsn;
+                rec->row = std::move(acc.image);
+              }
+              return Action::kPut;
+            }));
+            if (++since_pay >= w.batch_size()) {
+              w.PayThrottle();
+              since_pay = 0;
+            }
+          }
+          w.PayThrottle();
+          return Status::OK();
         }
         BatchSink s_sink(s_.get(), BatchSink::Mode::kInsert, &w);
         for (auto& [s_key, acc] : merged) {

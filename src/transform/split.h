@@ -96,6 +96,20 @@ class SplitRules : public OperatorRules {
   Status FinalizeTargets() override;
   bool KeepSource(TableId id) const override;
 
+  /// All rules are LSN-gated and keyed by the op's T-key (see RoutingKey),
+  /// so the split decomposes by source hash-range tablet. The S side
+  /// additionally needs the accumulate populate mode: a bucket may receive
+  /// contributions from several tablets' scans (handled in
+  /// InitialPopulate).
+  bool SupportsStaggeredTablets() const override { return true; }
+
+  /// R is pk-preserving (tablet-aligned); S buckets aggregate keys from all
+  /// tablets, so a migrated-tablet writer cannot cover its S effects with
+  /// target locks keyed by its own hash range.
+  bool TargetTabletAligned(TableId id) const override {
+    return id == r_->id();
+  }
+
   /// \brief One pass of the consistency checker (§5.3): picks up to
   /// `max_records` U-flagged S-records, and for each writes a CC_BEGIN
   /// bracket, fuzzy-reads the contributing T-records, and writes CC_OK with

@@ -96,6 +96,43 @@ void TransformLockTable::ReleaseTxn(TxnId txn) {
   cv_.notify_all();
 }
 
+void TransformLockTable::ReleaseTxnTargetLocks(TxnId txn) {
+  std::unique_lock lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  bool kept_any = false;
+  auto& rids = it->second;
+  size_t out = 0;
+  for (size_t i = 0; i < rids.size(); ++i) {
+    const RecordId& rid = rids[i];
+    auto qit = table_.find(rid);
+    if (qit == table_.end()) continue;
+    auto& entries = qit->second;
+    bool kept_here = false;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) {
+                                   if (e.txn != txn) return false;
+                                   if (e.origin == LockOrigin::kTarget) {
+                                     return true;
+                                   }
+                                   kept_here = true;
+                                   return false;
+                                 }),
+                  entries.end());
+    if (entries.empty()) table_.erase(qit);
+    if (kept_here) {
+      kept_any = true;
+      rids[out++] = rids[i];
+    }
+  }
+  if (kept_any) {
+    rids.resize(out);
+  } else {
+    held_.erase(it);
+  }
+  cv_.notify_all();
+}
+
 size_t TransformLockTable::num_locks() const {
   std::unique_lock lock(mu_);
   size_t n = 0;

@@ -90,6 +90,14 @@ class TransformLockTable {
   /// record, and by the engine when a target-side transaction finishes.
   void ReleaseTxn(TxnId txn);
 
+  /// \brief Releases only `txn`'s target-origin locks, leaving transferred
+  /// ones in place. Used while a staggered transformation is partially
+  /// migrated: a finishing transaction may hold target locks (migrated
+  /// tablets, released here) *and* mirrored source locks (unmigrated
+  /// tablets, which must survive until the propagator has applied all its
+  /// ops and processes its completion record).
+  void ReleaseTxnTargetLocks(TxnId txn);
+
   /// \brief Number of distinct (txn, record) lock entries held.
   size_t num_locks() const;
 

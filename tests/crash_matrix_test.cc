@@ -215,12 +215,13 @@ Scenario HSplitScenario() {
 
 TransformConfig CellConfig(
     SyncStrategy strategy, size_t workers = 0, size_t populate_workers = 0,
-    PropagatorHandoff handoff = PropagatorHandoff::kRing) {
+    PropagatorHandoff handoff = PropagatorHandoff::kRing, size_t tablets = 1) {
   TransformConfig config;
   config.strategy = strategy;
   config.propagate_workers = workers;
   config.populate_workers = populate_workers;
   config.propagate_handoff = handoff;
+  config.tablets = tablets;
   config.drop_sources = false;  // recovery recreates sources; keep symmetric
   // Bounds the whole run, the drain, and — critically — how long a writer
   // stays parked at the blocking gate when a crash cell kills the
@@ -235,13 +236,16 @@ TransformConfig CellConfig(
 std::vector<std::string> EnumerateSites(const Scenario& sc,
                                         SyncStrategy strategy, size_t workers,
                                         size_t populate_workers,
-                                        PropagatorHandoff handoff) {
+                                        PropagatorHandoff handoff,
+                                        size_t tablets) {
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
   fps.SetTracing(true);
 
-  engine::Database db;
+  engine::DatabaseOptions db_options;
+  db_options.table_tablets = tablets;
+  engine::Database db(db_options);
   auto sources = sc.create_sources(&db);
   for (size_t i = 0; i < sources.size(); ++i) {
     EXPECT_TRUE(db.BulkLoad(sources[i].get(), sc.initial_rows[i]).ok());
@@ -253,7 +257,8 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
 
   auto rules = sc.make_rules(&db);
   TransformCoordinator coord(
-      &db, rules, CellConfig(strategy, workers, populate_workers, handoff));
+      &db, rules,
+      CellConfig(strategy, workers, populate_workers, handoff, tablets));
   auto straddler = db.Begin();
   EXPECT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
                         Row({kStraddlerKey}),
@@ -282,13 +287,14 @@ std::vector<std::string> EnumerateSites(const Scenario& sc,
 /// One matrix cell: crash at `site`, recover, verify (a)-(c) above.
 void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
                   size_t populate_workers, PropagatorHandoff handoff,
-                  const std::string& site) {
+                  size_t tablets, const std::string& site) {
   const char* handoff_name =
       handoff == PropagatorHandoff::kRing ? "ring" : "mutex";
   SCOPED_TRACE(sc.name + " / " + std::string(SyncStrategyToString(strategy)) +
                " / workers=" + std::to_string(workers) +
                " / populate_workers=" + std::to_string(populate_workers) +
-               " / handoff=" + handoff_name + " / crash at " + site);
+               " / handoff=" + handoff_name + " / tablets=" +
+               std::to_string(tablets) + " / crash at " + site);
   auto& fps = Failpoints::Instance();
   fps.DisableAll();
   fps.ResetCounters();
@@ -306,7 +312,9 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
   // --- Phase A: run under traffic, crash at the site, save the WAL. -------
   std::vector<std::vector<Row>> expected_sources;
   {
-    engine::Database db;
+    engine::DatabaseOptions db_options;
+    db_options.table_tablets = tablets;
+    engine::Database db(db_options);
     auto sources = sc.create_sources(&db);
     for (size_t i = 0; i < sources.size(); ++i) {
       ASSERT_TRUE(db.BulkLoad(sources[i].get(), sc.initial_rows[i]).ok());
@@ -318,7 +326,8 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
 
     auto rules = sc.make_rules(&db);
     TransformCoordinator coord(
-        &db, rules, CellConfig(strategy, workers, populate_workers, handoff));
+        &db, rules,
+        CellConfig(strategy, workers, populate_workers, handoff, tablets));
     auto straddler = db.Begin();
     ASSERT_TRUE(db.Update(straddler, sources[sc.writer_table].get(),
                           Row({kStraddlerKey}),
@@ -382,7 +391,9 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
   }
 
   // --- Phase B: fresh incarnation, recover, verify, re-run. ---------------
-  engine::Database db2;
+  engine::DatabaseOptions db2_options;
+  db2_options.table_tablets = tablets;
+  engine::Database db2(db2_options);
   auto sources2 = sc.create_sources(&db2);
   ASSERT_TRUE(db2.wal()->LoadFromFile(path).ok());
   auto stats1 = engine::Recovery::Restart(db2.wal(), db2.catalog());
@@ -410,10 +421,15 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
     EXPECT_EQ(SortedRows(*sources2[i]), Sorted(expected_sources[i]));
   }
 
-  // Crash == abort: the transformation is simply runnable again, and
-  // produces the relational oracle of the recovered sources.
+  // Crash == abort: the transformation is simply runnable again — staggered
+  // again when the cell is a tablets row, so a half-staggered crash re-runs
+  // the per-tablet pipeline from scratch — and produces the relational
+  // oracle of the recovered sources.
   auto rules2 = sc.make_rules(&db2);
-  TransformCoordinator coord2(&db2, rules2, CellConfig(strategy));
+  TransformCoordinator coord2(
+      &db2, rules2,
+      CellConfig(strategy, /*workers=*/0, /*populate_workers=*/0,
+                 PropagatorHandoff::kRing, tablets));
   auto run2 = coord2.Run();
   ASSERT_TRUE(run2.ok()) << run2.status().ToString();
   ASSERT_TRUE(run2->completed) << run2->abort_reason;
@@ -428,16 +444,24 @@ void RunCrashCell(const Scenario& sc, SyncStrategy strategy, size_t workers,
 
 void RunMatrixRow(const Scenario& sc, SyncStrategy strategy,
                   size_t workers = 0, size_t populate_workers = 0,
-                  PropagatorHandoff handoff = PropagatorHandoff::kRing) {
-  const auto sites =
-      EnumerateSites(sc, strategy, workers, populate_workers, handoff);
+                  PropagatorHandoff handoff = PropagatorHandoff::kRing,
+                  size_t tablets = 1) {
+  const auto sites = EnumerateSites(sc, strategy, workers, populate_workers,
+                                    handoff, tablets);
   ASSERT_FALSE(sites.empty());
   // Sanity-pin the coverage: the phase boundaries every strategy crosses.
   std::vector<const char*> expected_sites = {
       "transform.prepare.before",      "transform.fuzzy.begin",
       "transform.populate.batch",      "transform.propagate.iteration",
-      "transform.sync.latched",        "transform.drain.iteration",
-      "transform.finalize.before_drop"};
+      "transform.drain.iteration",     "transform.finalize.before_drop"};
+  if (tablets > 1) {
+    // The staggered path replaces the single whole-table latch window with
+    // per-tablet boundary and latched-sync sites.
+    expected_sites.push_back("transform.tablet.boundary");
+    expected_sites.push_back("transform.tablet.sync");
+  } else {
+    expected_sites.push_back("transform.sync.latched");
+  }
   if (workers > 0 && handoff == PropagatorHandoff::kRing &&
       sc.writes_route_to_workers) {
     // The lock-free rows must cross the ring-publication site (it fires on
@@ -452,7 +476,8 @@ void RunMatrixRow(const Scenario& sc, SyncStrategy strategy,
         << "tracing run did not cross " << expected;
   }
   for (const std::string& site : sites) {
-    RunCrashCell(sc, strategy, workers, populate_workers, handoff, site);
+    RunCrashCell(sc, strategy, workers, populate_workers, handoff, tablets,
+                 site);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
@@ -536,6 +561,176 @@ TEST(CrashMatrixTest, VSplitNonBlockingAbortParallelPopulate) {
 TEST(CrashMatrixTest, HSplitNonBlockingAbortParallelPopulate) {
   RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort,
                /*workers=*/0, /*populate_workers=*/3);
+}
+
+// --- staggered-tablet rows ---------------------------------------------------
+//
+// Same matrix with the transformation staggered over 4 hash-range tablets:
+// the enumeration now crosses the per-tablet boundary and latched-sync
+// sites ("transform.tablet.boundary", "transform.tablet.sync"), so a crash
+// is exercised at a tablet seam and inside a tablet's sync window like at
+// any other site. The recovery contract is unchanged — the half-migrated
+// targets were never logged, so restart sees only the recovered sources and
+// a staggered re-run rebuilds everything from scratch.
+TEST(CrashMatrixTest, VSplitNonBlockingAbortStaggered) {
+  RunMatrixRow(VSplitScenario(), SyncStrategy::kNonBlockingAbort,
+               /*workers=*/0, /*populate_workers=*/0, PropagatorHandoff::kRing,
+               /*tablets=*/4);
+}
+TEST(CrashMatrixTest, HSplitNonBlockingAbortStaggered) {
+  RunMatrixRow(HSplitScenario(), SyncStrategy::kNonBlockingAbort,
+               /*workers=*/0, /*populate_workers=*/0, PropagatorHandoff::kRing,
+               /*tablets=*/4);
+}
+TEST(CrashMatrixTest, VSplitNonBlockingAbortStaggeredParallel) {
+  RunMatrixRow(VSplitScenario(), SyncStrategy::kNonBlockingAbort,
+               /*workers=*/3, /*populate_workers=*/0, PropagatorHandoff::kRing,
+               /*tablets=*/4);
+}
+
+// The matrix crashes at a site's *first* hit, which for the tablet sites is
+// tablet 0 — before anything has migrated. These two cells arm a later hit
+// so the crash lands with tablets already migrated, and assert the
+// partial-migration contract *within the dying incarnation*: migrated
+// tablets stay migrated (their keys answer "use the transformed table"),
+// untouched tablets keep taking writes, and after restart the staggered
+// re-run converges to the oracle — re-running the mid-flight tablet is
+// idempotent because the unlogged targets are rebuilt from zero.
+void RunStaggeredPartialCrashCell(const std::string& site, size_t fire_on_hit,
+                                  size_t expect_migrated) {
+  SCOPED_TRACE(site + " hit " + std::to_string(fire_on_hit));
+  auto& fps = Failpoints::Instance();
+  fps.DisableAll();
+  fps.ResetCounters();
+  std::string path = ::testing::TempDir() + "/morph_stagger_partial_" + site +
+                     "_" + std::to_string(fire_on_hit);
+  for (char& c : path) {
+    if (c == '.') c = '_';
+  }
+  path += ".log";
+
+  constexpr size_t kTablets = 4;
+  const Scenario sc = VSplitScenario();
+  std::vector<Row> expected_source = sc.initial_rows[0];
+  {
+    engine::DatabaseOptions db_options;
+    db_options.table_tablets = kTablets;
+    engine::Database db(db_options);
+    auto sources = sc.create_sources(&db);
+    ASSERT_TRUE(db.BulkLoad(sources[0].get(), sc.initial_rows[0]).ok());
+    auto rules = sc.make_rules(&db);
+    TransformCoordinator coord(
+        &db, rules,
+        CellConfig(SyncStrategy::kNonBlockingAbort, /*workers=*/0,
+                   /*populate_workers=*/0, PropagatorHandoff::kRing,
+                   kTablets));
+    fps.Crash(site, fire_on_hit);
+    bool crashed = false;
+    try {
+      auto run = coord.Run();
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+    } catch (const CrashException& e) {
+      crashed = true;
+      EXPECT_EQ(e.point(), site);
+    }
+    fps.DisableAll();
+    ASSERT_TRUE(crashed) << site << " hit " << fire_on_hit
+                         << " was not reached";
+
+    const TabletTransformManager* mgr = coord.tablet_manager();
+    ASSERT_NE(mgr, nullptr);
+    ASSERT_EQ(mgr->num_tablets(), kTablets);
+    // Migrated tablets stay migrated across the crash (within this
+    // incarnation); everything at or past the crash point is still
+    // pre-migration.
+    EXPECT_EQ(mgr->num_migrated(), expect_migrated);
+    for (size_t k = 0; k < expect_migrated; ++k) {
+      EXPECT_EQ(mgr->state(k), TabletState::kMigrated) << "tablet " << k;
+    }
+    for (size_t k = expect_migrated; k < kTablets; ++k) {
+      EXPECT_NE(mgr->state(k), TabletState::kMigrated) << "tablet " << k;
+    }
+
+    // The hook outlives the dead coordinator thread until the process dies:
+    // keys on migrated tablets are referred to the transformed tables, keys
+    // on unmigrated tablets keep updating the source normally.
+    int64_t migrated_key = -1;
+    int64_t untouched_key = -1;
+    for (int64_t i = 0; i < 60; ++i) {
+      const size_t k = mgr->TabletOf(Row({i}));
+      if (k < expect_migrated && migrated_key < 0) migrated_key = i;
+      if (k == kTablets - 1 && untouched_key < 0) untouched_key = i;
+    }
+    ASSERT_GE(migrated_key, 0);
+    ASSERT_GE(untouched_key, 0);
+    {
+      auto t = db.Begin();
+      const Status st = db.Update(t, sources[0].get(), Row({migrated_key}),
+                                  {{3, Value("after-crash")}});
+      EXPECT_FALSE(st.ok()) << "migrated tablet took a source write";
+      (void)db.Abort(t);
+    }
+    {
+      auto t = db.Begin();
+      const Status st = db.Update(t, sources[0].get(), Row({untouched_key}),
+                                  {{3, Value("after-crash")}});
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      ASSERT_TRUE(db.Commit(t).ok());
+      for (Row& row : expected_source) {
+        if (row[0] == Value(untouched_key)) row[3] = Value("after-crash");
+      }
+    }
+    db.ClearTransformHook();
+    ASSERT_TRUE(db.wal()->SaveToFile(path).ok());
+  }
+
+  // Next incarnation: recover, then re-run the whole staggered
+  // transformation. The tablet that was mid-flight at the crash re-runs
+  // from scratch — its (unlogged) target state vanished with the process.
+  engine::DatabaseOptions db2_options;
+  db2_options.table_tablets = kTablets;
+  engine::Database db2(db2_options);
+  auto sources2 = sc.create_sources(&db2);
+  ASSERT_TRUE(db2.wal()->LoadFromFile(path).ok());
+  auto stats = engine::Recovery::Restart(db2.wal(), db2.catalog());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(SortedRows(*sources2[0]), Sorted(expected_source));
+  for (const auto& [name, rows] :
+       sc.oracle(std::vector<std::vector<Row>>{expected_source})) {
+    EXPECT_EQ(db2.catalog()->GetByName(name), nullptr) << name;
+  }
+
+  auto rules2 = sc.make_rules(&db2);
+  TransformCoordinator coord2(
+      &db2, rules2,
+      CellConfig(SyncStrategy::kNonBlockingAbort, /*workers=*/0,
+                 /*populate_workers=*/0, PropagatorHandoff::kRing, kTablets));
+  auto run2 = coord2.Run();
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  ASSERT_TRUE(run2->completed) << run2->abort_reason;
+  EXPECT_EQ(run2->tablets, kTablets);
+  const auto expected_targets =
+      sc.oracle(std::vector<std::vector<Row>>{expected_source});
+  for (const auto& target : rules2->Targets()) {
+    auto it = expected_targets.find(target->name());
+    ASSERT_NE(it, expected_targets.end()) << target->name();
+    EXPECT_EQ(SortedRows(*target), Sorted(it->second)) << target->name();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CrashMatrixTest, StaggeredMidSyncCrashKeepsMigratedTablets) {
+  // "transform.tablet.sync" fires once per tablet, under that tablet's
+  // latch; hit 3 = inside tablet 2's sync window, tablets 0 and 1 migrated.
+  RunStaggeredPartialCrashCell("transform.tablet.sync", /*fire_on_hit=*/3,
+                               /*expect_migrated=*/2);
+}
+TEST(CrashMatrixTest, StaggeredBoundaryCrashAfterFirstMigration) {
+  // "transform.tablet.boundary" fires once per tablet in the populate pass
+  // (hits 1-4) and once per tablet in the sync pass (hits 5-8); hit 6 = the
+  // seam before tablet 1's sync, tablet 0 migrated.
+  RunStaggeredPartialCrashCell("transform.tablet.boundary", /*fire_on_hit=*/6,
+                               /*expect_migrated=*/1);
 }
 
 // --- durable segmented-WAL cells ---------------------------------------------

@@ -55,6 +55,11 @@ struct CellResult {
   /// vsplit only: sorted (split value, counter) pairs of the S side — the
   /// Gupta-style reference counts must survive reordering exactly.
   std::vector<Row> s_counters;
+  /// Full per-record dumps (row, LSN, counter, consistent flag) of every
+  /// target, one string per table in Targets() order, records sorted.
+  /// Deterministic only for quiescent cells (drive_stream = false): with a
+  /// concurrent stream the record LSNs depend on scheduling.
+  std::vector<std::string> target_dumps;
   size_t locks_at_switch = 0;
   size_t locks_at_end = 0;
   size_t log_records = 0;
@@ -65,6 +70,8 @@ struct CellResult {
   size_t ops_propagated = 0;
   /// Resolved propagation shape, straight from TransformStats.
   size_t resolved_workers = 0;
+  /// Resolved tablet count (1 when the operator/config clamped staggering).
+  size_t resolved_tablets = 0;
   std::string handoff;
   size_t adaptive_probe_windows = 0;
   size_t adaptive_collapses = 0;
@@ -82,6 +89,18 @@ struct CellOptions {
   /// against silently degrading to serial). Auto cells may legitimately
   /// collapse to serial, so the check is skipped for them.
   bool expect_queue_work = true;
+  /// Tablet count, applied both to the tables (DatabaseOptions) and the
+  /// transformation (TransformConfig). 1 = whole-table path. Operators that
+  /// don't support staggering clamp back to 1 — the differential still
+  /// holds, the cell just exercises the fallback.
+  size_t tablets = 1;
+  /// Table latch granularity; 0 (default) follows `tablets`. Set lower than
+  /// `tablets` to exercise the coordinator's clamp.
+  size_t table_tablets = 0;
+  /// false = quiescent cell: no concurrent op stream, no sync hold — the
+  /// transformation sees only the bulk-loaded data, making the full record
+  /// dumps (LSNs included) comparable across cells.
+  bool drive_stream = true;
 };
 
 inline TransformConfig CellConfig(const CellOptions& opts) {
@@ -94,6 +113,7 @@ inline TransformConfig CellConfig(const CellOptions& opts) {
   // The stream is produced while synchronization is held open, so the
   // backlog is *supposed* to persist — disable the lag detector.
   config.lag_iterations = 1'000'000;
+  config.tablets = opts.tablets;
   return config;
 }
 
@@ -212,7 +232,10 @@ inline CellResult RunCell(Operator op, const CellOptions& opts) {
   const uint64_t ops_before = registry.CounterValue("transform.propagate.ops");
   const uint64_t records_before =
       registry.CounterValue("transform.propagate.records");
-  engine::Database db;
+  engine::DatabaseOptions db_options;
+  db_options.table_tablets =
+      opts.table_tablets ? opts.table_tablets : opts.tablets;
+  engine::Database db(db_options);
   std::shared_ptr<storage::Table> a, b;
   std::shared_ptr<OperatorRules> rules;
   switch (op) {
@@ -295,20 +318,22 @@ inline CellResult RunCell(Operator op, const CellOptions& opts) {
   }
 
   TransformCoordinator coord(&db, rules, CellConfig(opts));
-  coord.SetSyncHold(true);
+  coord.SetSyncHold(opts.drive_stream);
   auto run = std::async(std::launch::async, [&] { return coord.Run(); });
-  // Don't start the stream until the fuzzy mark is fixed (phase past
-  // kPreparing): otherwise the mark's position relative to the stream is a
-  // scheduling race, and on a single-core host the cells would propagate
-  // randomly-sized suffixes of the stream — the cross-cell count
-  // comparison would flake. With the mark pinned first, every cell
-  // propagates the whole stream and the stream still overlaps the
-  // populate and propagation phases, which is the concurrency under test.
-  while (coord.phase() == TransformCoordinator::Phase::kIdle ||
-         coord.phase() == TransformCoordinator::Phase::kPreparing) {
-    std::this_thread::yield();
+  if (opts.drive_stream) {
+    // Don't start the stream until the fuzzy mark is fixed (phase past
+    // kPreparing): otherwise the mark's position relative to the stream is a
+    // scheduling race, and on a single-core host the cells would propagate
+    // randomly-sized suffixes of the stream — the cross-cell count
+    // comparison would flake. With the mark pinned first, every cell
+    // propagates the whole stream and the stream still overlaps the
+    // populate and propagation phases, which is the concurrency under test.
+    while (coord.phase() == TransformCoordinator::Phase::kIdle ||
+           coord.phase() == TransformCoordinator::Phase::kPreparing) {
+      std::this_thread::yield();
+    }
+    DriveStream(&db, op, a.get(), b.get(), opts.seed);
   }
-  DriveStream(&db, op, a.get(), b.get(), opts.seed);
 
   // Under non-blocking commit, leave one transaction open across the
   // switch-over: its source writes keep mirrored locks in the transform
@@ -363,6 +388,7 @@ inline CellResult RunCell(Operator op, const CellOptions& opts) {
   result.locks_at_end = coord.transform_locks()->num_locks();
   result.ops_propagated = stats->ops_propagated;
   result.resolved_workers = stats->propagate_workers;
+  result.resolved_tablets = stats->tablets;
   result.handoff = stats->propagate_handoff;
   result.adaptive_probe_windows = stats->adaptive_probe_windows;
   result.adaptive_collapses = stats->adaptive_collapses;
@@ -390,6 +416,19 @@ inline CellResult RunCell(Operator op, const CellOptions& opts) {
   for (const auto& target : rules->Targets()) {
     const std::vector<Row> rows = morph::testing::SortedRows(*target);
     result.targets.insert(result.targets.end(), rows.begin(), rows.end());
+    std::vector<std::string> recs;
+    target->ForEach([&](const storage::Record& rec) {
+      recs.push_back(rec.row.ToString() + "|lsn=" + std::to_string(rec.lsn) +
+                     "|ctr=" + std::to_string(rec.counter) + "|c=" +
+                     (rec.consistent ? "1" : "0"));
+    });
+    std::sort(recs.begin(), recs.end());
+    std::string dump;
+    for (const std::string& r : recs) {
+      dump += r;
+      dump += '\n';
+    }
+    result.target_dumps.push_back(std::move(dump));
   }
   if (op == Operator::kVSplit) {
     auto* split = static_cast<SplitRules*>(rules.get());
