@@ -1,0 +1,452 @@
+#include "common/io_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace morph {
+
+namespace io_fault_internal {
+std::atomic<int> g_armed{0};
+}  // namespace io_fault_internal
+
+Status StatusFromErrno(const char* op, const std::string& path, int err) {
+  std::string msg = std::string(op) + " '" + path + "': " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) return Status::NoSpace(std::move(msg));
+  // EIO is classified transient: a single EIO is as likely a path flap or a
+  // controller hiccup as dead media, and the bounded retry budget upstream
+  // converts a *persistent* EIO into a permanent failure anyway. EAGAIN is
+  // transient by definition.
+  if (err == EIO || err == EAGAIN) return Status::TransientIOError(std::move(msg));
+  return Status::PermanentIOError(std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// IoFaults
+// ---------------------------------------------------------------------------
+
+IoFaults& IoFaults::Instance() {
+  static IoFaults* instance = [] {
+    auto* faults = new IoFaults();
+    const Status st = faults->ConfigureFromEnv();
+    if (!st.ok()) {
+      // A silently ignored spec would leave the user believing injection is
+      // armed when it is not — the one failure mode a fault-injection tool
+      // must not have.
+      std::fprintf(stderr, "MORPH_IOFAULTS rejected: %s\n",
+                   st.ToString().c_str());
+    }
+    return faults;
+  }();
+  return *instance;
+}
+
+namespace {
+// Force the registry (and with it MORPH_IOFAULTS) to be applied before main:
+// the primitives' fast path reads g_armed without touching Instance(), so in
+// a binary that never arms a fault programmatically nothing else would ever
+// parse the environment variable.
+const bool g_env_applied = (IoFaults::Instance(), true);
+}  // namespace
+
+void IoFaults::RecomputeArmed() {
+  int armed = 0;
+  for (const auto& [name, site] : sites_) {
+    if (site.config.kind != Kind::kOff) armed++;
+  }
+  io_fault_internal::g_armed.store(armed, std::memory_order_relaxed);
+}
+
+void IoFaults::Enable(const std::string& site, Config config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.config = config;
+  s.hits = 0;
+  s.fires = 0;
+  RecomputeArmed();
+}
+
+void IoFaults::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    it->second.config.kind = Kind::kOff;
+    RecomputeArmed();
+  }
+}
+
+void IoFaults::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) site.config.kind = Kind::kOff;
+  RecomputeArmed();
+}
+
+uint64_t IoFaults::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t IoFaults::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+void IoFaults::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    site.hits = 0;
+    site.fires = 0;
+  }
+}
+
+IoFaults::Shot IoFaults::Evaluate(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Shot{};
+  Site& s = it->second;
+  if (s.config.kind == Kind::kOff) return Shot{};
+  s.hits++;
+  if (s.hits < s.config.fire_on_hit) return Shot{};
+  if (s.config.max_fires >= 0 &&
+      s.fires >= static_cast<uint64_t>(s.config.max_fires)) {
+    return Shot{};
+  }
+  s.fires++;
+  MORPH_COUNTER_INC("io.faults.injected");
+  return Shot{s.config.kind, s.config.transient};
+}
+
+Status IoFaults::InjectedStatus(const Shot& shot, const char* site,
+                                const std::string& path) {
+  const std::string where = std::string(site) + " '" + path + "'";
+  switch (shot.kind) {
+    case Kind::kEio:
+      return shot.transient
+                 ? Status::TransientIOError("injected transient EIO at " + where)
+                 : Status::PermanentIOError("injected EIO at " + where);
+    case Kind::kEnospc:
+      return Status::NoSpace("injected ENOSPC at " + where);
+    default:
+      return Status::Internal("IoFaults::InjectedStatus on non-error shot at " +
+                              where);
+  }
+}
+
+namespace {
+
+Status ParseOneFault(const std::string& entry, std::string* site,
+                     IoFaults::Config* config) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("iofault spec entry '" + entry +
+                                   "' is not of the form site=kind");
+  }
+  *site = entry.substr(0, eq);
+  std::string action = entry.substr(eq + 1);
+
+  // Peel the :transient / :permanent qualifier (it always comes last or
+  // after the count suffixes; accept it anywhere after the kind by just
+  // searching for the colon).
+  bool saw_qualifier = false;
+  const size_t colon = action.find(':');
+  if (colon != std::string::npos) {
+    const std::string qual = action.substr(colon + 1);
+    if (qual == "transient") {
+      config->transient = true;
+    } else if (qual == "permanent") {
+      config->transient = false;
+    } else {
+      return Status::InvalidArgument("iofault spec '" + entry +
+                                     "': unknown qualifier ':" + qual + "'");
+    }
+    saw_qualifier = true;
+    action = action.substr(0, colon);
+  }
+
+  // Peel @N (fire_on_hit) and *M (max_fires) suffixes, either order.
+  bool saw_max_fires = false;
+  for (;;) {
+    const size_t at = action.rfind('@');
+    const size_t star = action.rfind('*');
+    size_t pos;
+    char which;
+    if (at != std::string::npos && (star == std::string::npos || at > star)) {
+      pos = at;
+      which = '@';
+    } else if (star != std::string::npos) {
+      pos = star;
+      which = '*';
+    } else {
+      break;
+    }
+    const std::string digits = action.substr(pos + 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("iofault spec '" + entry +
+                                     "': bad count suffix '" + which + digits +
+                                     "'");
+    }
+    const uint64_t value = std::strtoull(digits.c_str(), nullptr, 10);
+    if (value == 0) {
+      return Status::InvalidArgument("iofault spec '" + entry +
+                                     "': count must be >= 1");
+    }
+    if (which == '@') {
+      config->fire_on_hit = value;
+    } else {
+      config->max_fires = static_cast<int64_t>(value);
+      saw_max_fires = true;
+    }
+    action = action.substr(0, pos);
+  }
+
+  if (action == "eio") {
+    config->kind = IoFaults::Kind::kEio;
+  } else if (action == "enospc") {
+    config->kind = IoFaults::Kind::kEnospc;
+  } else if (action == "short") {
+    config->kind = IoFaults::Kind::kShortWrite;
+  } else if (action == "eintr") {
+    config->kind = IoFaults::Kind::kEintr;
+  } else {
+    return Status::InvalidArgument("iofault spec '" + entry +
+                                   "': unknown fault kind '" + action + "'");
+  }
+
+  // A ":transient" eio with no explicit fire budget defaults to a single
+  // fire: a transient fault that fires forever is a permanent fault in
+  // effect, and the injector refuses to blur that line silently.
+  if (config->kind == IoFaults::Kind::kEio && config->transient &&
+      !saw_max_fires) {
+    config->max_fires = 1;
+  }
+  (void)saw_qualifier;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IoFaults::ConfigureFromString(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(";,", start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    std::string site;
+    Config config;
+    MORPH_RETURN_NOT_OK(ParseOneFault(entry, &site, &config));
+    Enable(site, config);
+  }
+  return Status::OK();
+}
+
+Status IoFaults::ConfigureFromEnv() {
+  const char* spec = std::getenv("MORPH_IOFAULTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return ConfigureFromString(spec);
+}
+
+// ---------------------------------------------------------------------------
+// IoFile
+// ---------------------------------------------------------------------------
+
+IoFile::~IoFile() { Close(); }
+
+void IoFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status IoFile::Write(std::string_view data, const char* site) {
+  const char* p = data.data();
+  size_t remaining = data.size();
+  while (remaining > 0) {
+    size_t attempt = remaining;
+    if (IoFaults::armed()) {
+      const IoFaults::Shot shot = IoFaults::Instance().Evaluate(site);
+      switch (shot.kind) {
+        case IoFaults::Kind::kEio:
+        case IoFaults::Kind::kEnospc:
+          return IoFaults::InjectedStatus(shot, site, path_);
+        case IoFaults::Kind::kShortWrite:
+          // Transfer only half the request (at least one byte) — success,
+          // not error, exactly like a real short write. The loop must pick
+          // up the rest on the next iteration.
+          attempt = remaining > 1 ? remaining / 2 : 1;
+          break;
+        case IoFaults::Kind::kEintr:
+          // As if ::write returned -1/EINTR before transferring anything.
+          continue;
+        case IoFaults::Kind::kOff:
+          break;
+      }
+    }
+    const ssize_t n = ::write(fd_, p, attempt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return StatusFromErrno("write", path_, errno);
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status IoFile::Sync(const char* site) {
+  if (IoFaults::armed()) {
+    for (;;) {
+      const IoFaults::Shot shot = IoFaults::Instance().Evaluate(site);
+      if (shot.kind == IoFaults::Kind::kEio ||
+          shot.kind == IoFaults::Kind::kEnospc) {
+        return IoFaults::InjectedStatus(shot, site, path_);
+      }
+      // Injected EINTR: loop and re-evaluate, like the real retry below.
+      if (shot.kind != IoFaults::Kind::kEintr) break;
+    }
+  }
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return StatusFromErrno("fsync", path_, errno);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// IoEnv
+// ---------------------------------------------------------------------------
+
+IoEnv& IoEnv::Default() {
+  static IoEnv* env = new IoEnv();
+  return *env;
+}
+
+namespace {
+
+// Non-write sites only carry error faults; short/eintr shots are meaningless
+// there and are swallowed (they still count as fires so tests notice the
+// misconfiguration via fires()).
+Status EvaluateErrorSite(const char* site, const std::string& path) {
+  if (!IoFaults::armed()) return Status::OK();
+  const IoFaults::Shot shot = IoFaults::Instance().Evaluate(site);
+  if (shot.kind == IoFaults::Kind::kEio ||
+      shot.kind == IoFaults::Kind::kEnospc) {
+    return IoFaults::InjectedStatus(shot, site, path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IoFile>> IoEnv::OpenForWrite(const std::string& path,
+                                                    const char* site) {
+  MORPH_RETURN_NOT_OK(EvaluateErrorSite(site, path));
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return StatusFromErrno("open", path, errno);
+  return std::unique_ptr<IoFile>(new IoFile(fd, path));
+}
+
+Status IoEnv::Rename(const std::string& from, const std::string& to,
+                     const char* site) {
+  MORPH_RETURN_NOT_OK(EvaluateErrorSite(site, from));
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return StatusFromErrno("rename", from + " -> " + to, errno);
+  }
+  return Status::OK();
+}
+
+Status IoEnv::Remove(const std::string& path, const char* site) {
+  MORPH_RETURN_NOT_OK(EvaluateErrorSite(site, path));
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return StatusFromErrno("unlink", path, errno);
+  }
+  return Status::OK();
+}
+
+Status IoEnv::Truncate(const std::string& path, uint64_t size,
+                       const char* site) {
+  MORPH_RETURN_NOT_OK(EvaluateErrorSite(site, path));
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return StatusFromErrno("open", path, errno);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return StatusFromErrno("ftruncate", path, err);
+  }
+  // The truncation must be durable before the caller rebuilds state on top
+  // of it (fsync-gate repair relies on the shortened length surviving).
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    return StatusFromErrno("fsync", path, err);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status IoEnv::SyncDir(const std::string& path, const char* site) {
+  std::string dir;
+  const size_t slash = path.find_last_of('/');
+  dir = slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  MORPH_RETURN_NOT_OK(EvaluateErrorSite(site, dir));
+  int fd;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return StatusFromErrno("open(dir)", dir, errno);
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    return StatusFromErrno("fsync(dir)", dir, err);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::string> IoEnv::ReadFile(const std::string& path,
+                                    const char* site) {
+  MORPH_RETURN_NOT_OK(EvaluateErrorSite(site, path));
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return StatusFromErrno("open", path, errno);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return StatusFromErrno("read", path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace morph

@@ -1,0 +1,206 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace morph {
+
+/// \brief Maps an errno from a real filesystem call to a Status with the
+/// retryability taxonomy applied: ENOSPC/EDQUOT -> NoSpace (stall until
+/// space frees), EIO/EAGAIN -> transient (a disk hiccup or SAN path flap is
+/// worth a bounded number of backed-off retries; a *persistent* EIO is
+/// converted to a permanent failure by the retry budget upstream),
+/// everything else -> permanent IOError.
+Status StatusFromErrno(const char* op, const std::string& path, int err);
+
+namespace io_fault_internal {
+/// Number of armed fault configurations. The I/O primitives take the
+/// injection slow path only when non-zero, so with MORPH_IOFAULTS unset a
+/// write costs one extra relaxed atomic load — nothing else.
+extern std::atomic<int> g_armed;
+}  // namespace io_fault_internal
+
+/// \brief Deterministic storage-fault injector: the `MORPH_FAILPOINT`
+/// sibling for the I/O layer.
+///
+/// Every WAL I/O primitive (see IoEnv/IoFile below) names its call site
+/// (`wal.write`, `wal.fsync`, `wal.manifest.rename`, ...) and consults this
+/// registry before touching the kernel. Tests — or the `MORPH_IOFAULTS`
+/// environment variable — arm a site with a fault kind:
+///
+///  - **eio**:    the call fails with an injected I/O error. `:transient`
+///                marks the Status retryable (Status::IsRetryable()), i.e. a
+///                disk hiccup; the default is a permanent fault.
+///  - **enospc**: the call fails with Status::NoSpace — retryable on the
+///                patient ENOSPC budget. Bound the window with `*M` to model
+///                space being freed after M failed attempts.
+///  - **short**:  a write syscall transfers only half the requested bytes
+///                (success, not error). Proves the callers' short-write
+///                retry loops; ignored at non-write sites.
+///  - **eintr**:  the syscall reports EINTR once. Proves EINTR retry loops;
+///                applies to write and fsync sites.
+///
+/// Grammar (sites separated by `;` or `,`):
+///
+///   MORPH_IOFAULTS="site=kind[@N][*M][:transient|:permanent];..."
+///
+/// `@N` = start firing on the Nth hit of the site, `*M` = stop after M
+/// fires. E.g. `wal.write=eio@3:transient` injects one retryable EIO on the
+/// third write the WAL issues; `wal.fsync=enospc*5` makes five consecutive
+/// fsyncs report a full disk, then clears — an ENOSPC window.
+///
+/// A `:transient` eio with no explicit `*M` defaults to a single fire: a
+/// "transient" fault that fires forever is a permanent fault in effect, and
+/// the injector refuses to blur that line silently.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class IoFaults {
+ public:
+  enum class Kind : uint8_t { kOff, kEio, kEnospc, kShortWrite, kEintr };
+
+  struct Config {
+    Kind kind = Kind::kOff;
+    /// kEio only: inject a retryable (transient) error instead of permanent.
+    bool transient = false;
+    /// 1-based hit ordinal at which the fault starts firing.
+    uint64_t fire_on_hit = 1;
+    /// Stop firing after this many fires; -1 = unlimited.
+    int64_t max_fires = -1;
+  };
+
+  /// \brief One evaluation's outcome: which fault (if any) fires now.
+  struct Shot {
+    Kind kind = Kind::kOff;
+    bool transient = false;
+  };
+
+  /// \brief The process-wide registry. The first call applies the
+  /// MORPH_IOFAULTS environment variable if set.
+  static IoFaults& Instance();
+
+  /// \brief Macro-style fast path: true iff any fault is armed.
+  static bool armed() {
+    return io_fault_internal::g_armed.load(std::memory_order_relaxed) != 0;
+  }
+
+  void Enable(const std::string& site, Config config);
+  /// Disarms one site — e.g. a test simulating "space was freed" clears an
+  /// unbounded enospc window after running truncation.
+  void Disable(const std::string& site);
+  void DisableAll();
+
+  Status ConfigureFromString(const std::string& spec);
+  Status ConfigureFromEnv();
+
+  uint64_t hits(const std::string& site) const;
+  uint64_t fires(const std::string& site) const;
+  void ResetCounters();
+
+  /// \brief Records a hit at `site` and returns the fault to apply, if any.
+  Shot Evaluate(const char* site);
+
+  /// \brief The Status an eio/enospc shot injects (names the site + path so
+  /// matrix failures are self-describing).
+  static Status InjectedStatus(const Shot& shot, const char* site,
+                               const std::string& path);
+
+ private:
+  IoFaults() = default;
+
+  struct Site {
+    Config config;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  void RecomputeArmed();  // callers hold mu_
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+class IoEnv;
+
+/// \brief A writable file handle owned by IoEnv. All writes funnel through
+/// Write(), which retries EINTR and short writes (both real and injected)
+/// until every byte is transferred — callers never see a partial transfer
+/// as anything but success or a typed Status.
+class IoFile {
+ public:
+  ~IoFile();
+  IoFile(const IoFile&) = delete;
+  IoFile& operator=(const IoFile&) = delete;
+
+  /// \brief Writes all of `data`, looping over EINTR and short transfers.
+  /// `site` names the injection point (e.g. "wal.write").
+  Status Write(std::string_view data, const char* site);
+
+  /// \brief fsync, retrying EINTR. A failure here means the kernel may have
+  /// dropped the dirty pages this fd staged — see the fsync-gate note in
+  /// SegmentedLog: the caller must never retry Sync on this fd and expect
+  /// the lost bytes back.
+  Status Sync(const char* site);
+
+  /// \brief Closes the descriptor (idempotent; destructor closes too).
+  void Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class IoEnv;
+  IoFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// \brief Thin abstraction over the raw filesystem operations the WAL
+/// performs (open/write/fsync/rename/remove/truncate/read/list). Every
+/// operation names its call site and consults IoFaults first, so a test can
+/// deterministically fail any single I/O the WAL issues without touching
+/// the real disk's behavior.
+///
+/// Stateless; the process-wide instance is IoEnv::Default(). It exists as a
+/// class (rather than free functions) so a future backend (O_DIRECT,
+/// io_uring, an in-memory test filesystem) can slot in under the same
+/// call sites.
+class IoEnv {
+ public:
+  static IoEnv& Default();
+
+  /// \brief Opens (creating, truncating) `path` for writing.
+  Result<std::unique_ptr<IoFile>> OpenForWrite(const std::string& path,
+                                               const char* site);
+
+  /// \brief Atomic rename within a filesystem.
+  Status Rename(const std::string& from, const std::string& to,
+                const char* site);
+
+  /// \brief Removes a file; missing files are OK (idempotent cleanup).
+  Status Remove(const std::string& path, const char* site);
+
+  /// \brief Truncates `path` to `size` bytes and fsyncs the truncation via
+  /// a fresh descriptor.
+  Status Truncate(const std::string& path, uint64_t size, const char* site);
+
+  /// \brief fsyncs the directory containing `path` so renames/creations
+  /// survive power loss.
+  Status SyncDir(const std::string& path, const char* site);
+
+  /// \brief Reads a whole file into a string.
+  Result<std::string> ReadFile(const std::string& path, const char* site);
+
+ private:
+  IoEnv() = default;
+};
+
+}  // namespace morph

@@ -32,9 +32,27 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+std::string_view StatusSubcodeToString(StatusSubcode subcode) {
+  switch (subcode) {
+    case StatusSubcode::kNone:
+      return "";
+    case StatusSubcode::kTransient:
+      return "transient";
+    case StatusSubcode::kPermanent:
+      return "permanent";
+    case StatusSubcode::kNoSpace:
+      return "nospace";
+  }
+  return "";
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));
+  if (subcode_ != StatusSubcode::kNone) {
+    out += "/";
+    out += StatusSubcodeToString(subcode_);
+  }
   out += ": ";
   out += msg_;
   return out;

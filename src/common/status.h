@@ -27,8 +27,36 @@ enum class StatusCode {
   kIOError,
 };
 
+/// \brief Refinement of an error's *durability*: is the operation worth
+/// retrying, or is the failure final?
+///
+/// The subcode exists so retry loops (the group-commit writer's flush retry,
+/// the ENOSPC admission gate) can branch on a typed property instead of
+/// string-matching messages. The taxonomy is deliberately tiny:
+///
+///  - kNone       — the code carries no retryability information (the
+///                  default for every legacy Status; treated as permanent).
+///  - kTransient  — the same call may succeed if simply retried after a
+///                  short backoff (EIO that a disk hiccup produced, EAGAIN).
+///  - kPermanent  — explicitly final: retrying cannot help (media failure,
+///                  invariant violation). Distinct from kNone so call sites
+///                  that *decided* a fault is permanent can say so.
+///  - kNoSpace    — ENOSPC/EDQUOT: retrying helps only once something frees
+///                  space (checkpoint-driven WAL truncation, operator
+///                  action), so callers stall/backpressure rather than
+///                  tight-loop. Retryable, but on a different budget.
+enum class StatusSubcode : uint8_t {
+  kNone = 0,
+  kTransient,
+  kPermanent,
+  kNoSpace,
+};
+
 /// \brief Returns a short human-readable name for a status code.
 std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Returns a short human-readable name for a subcode ("" for kNone).
+std::string_view StatusSubcodeToString(StatusSubcode subcode);
 
 /// \brief Result of an operation that can fail, in the style of
 /// arrow::Status / rocksdb::Status.
@@ -42,6 +70,8 @@ class Status {
   Status() = default;
 
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+  Status(StatusCode code, StatusSubcode subcode, std::string msg)
+      : code_(code), subcode_(subcode), msg_(std::move(msg)) {}
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -75,6 +105,21 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  /// An I/O error worth retrying after a short backoff (disk hiccup).
+  static Status TransientIOError(std::string msg) {
+    return Status(StatusCode::kIOError, StatusSubcode::kTransient,
+                  std::move(msg));
+  }
+  /// An I/O error a caller has decided is final (budget exhausted, media).
+  static Status PermanentIOError(std::string msg) {
+    return Status(StatusCode::kIOError, StatusSubcode::kPermanent,
+                  std::move(msg));
+  }
+  /// ENOSPC-class exhaustion: retryable once space frees; callers stall.
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kIOError, StatusSubcode::kNoSpace,
+                  std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
@@ -92,13 +137,25 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
 
   StatusCode code() const { return code_; }
+  StatusSubcode subcode() const { return subcode_; }
   const std::string& message() const { return msg_; }
 
-  /// \brief "OK" or "<Code>: <message>".
+  /// \brief True when retrying the failed operation can plausibly succeed:
+  /// the subcode is kTransient or kNoSpace. A Status without a subcode is
+  /// NOT retryable — unknown faults must take the conservative (halt) path,
+  /// never an optimistic retry loop.
+  bool IsRetryable() const {
+    return subcode_ == StatusSubcode::kTransient ||
+           subcode_ == StatusSubcode::kNoSpace;
+  }
+  bool IsNoSpace() const { return subcode_ == StatusSubcode::kNoSpace; }
+
+  /// \brief "OK" or "<Code>[/<subcode>]: <message>".
   std::string ToString() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
+  StatusSubcode subcode_ = StatusSubcode::kNone;
   std::string msg_;
 };
 

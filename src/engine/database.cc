@@ -40,6 +40,17 @@ Status Database::Commit(const TxnPtr& t) {
       return gate;
     }
   }
+  // Admission check BEFORE the in-memory apply: if the WAL is stalled on
+  // ENOSPC (or its writer already died), refuse the commit here with a
+  // retryable Status while the transaction is still fully abortable. The
+  // halt path below exists only for the unrecoverable ordering — apply
+  // succeeded, sync failed — and a full disk must not be promoted into
+  // that permanent outage when we can simply not apply yet.
+  const Status admit = wal_.WaitWritable();
+  if (!admit.ok()) {
+    MORPH_COUNTER_INC("engine.txn.commit_backpressure");
+    return admit;
+  }
   MORPH_RETURN_NOT_OK(txns_.Commit(t));
   // WAL-before-return: a commit is only acknowledged once its commit record
   // is durable. In-memory mode this is a no-op; with a segmented WAL the

@@ -82,13 +82,17 @@ class Database {
   TxnPtr Begin();
 
   /// \brief Commits: logs COMMIT, releases locks, notifies any registered
-  /// transformation hook. The commit is applied in memory first, then made
-  /// durable (Wal::Sync). If Sync fails, in-memory state has diverged from
-  /// the durable log — the already-applied effects cannot be unwound — so
-  /// the engine halts: the failing Status is returned and every subsequent
-  /// Commit is refused (see wal_failed()). A crash-failpoint
-  /// CrashException propagates instead; the crash harness discards the
-  /// incarnation, so no divergence is observable.
+  /// transformation hook. Before the in-memory apply, an admission check
+  /// (Wal::WaitWritable) rides out an ENOSPC stall and otherwise returns a
+  /// *retryable* Status with the transaction untouched — the caller may
+  /// retry the Commit once space frees, or Abort. After admission, the
+  /// commit is applied in memory first, then made durable (Wal::Sync). If
+  /// Sync fails, in-memory state has diverged from the durable log — the
+  /// already-applied effects cannot be unwound — so the engine halts: the
+  /// failing Status is returned and every subsequent Commit is refused
+  /// (see wal_failed()). A crash-failpoint CrashException propagates
+  /// instead; the crash harness discards the incarnation, so no divergence
+  /// is observable.
   Status Commit(const TxnPtr& t);
 
   /// \brief True once a commit's WAL sync has failed: volatile state no

@@ -52,6 +52,7 @@ Status Wal::OpenDurable(const WalOptions& options) {
     sopts.dir = options.dir;
     sopts.segment_bytes = options.segment_bytes;
     sopts.recycle_pool_max = options.recycle_pool_max;
+    sopts.quarantine_on_open = options.scrub_on_open;
     auto base = segmented_->Open(
         sopts, [this](LogRecord&& rec) { records_.push_back(std::move(rec)); });
     if (!base.ok()) {
@@ -75,6 +76,21 @@ Status Wal::OpenDurable(const WalOptions& options) {
   // Everything replayed is durable by definition; the writer's horizon
   // starts there so Sync on recovered records returns immediately.
   writer_ = std::make_unique<GroupCommitWriter>(segmented_.get());
+  RetryPolicy policy;
+  policy.max_retries = options.flush_max_retries;
+  policy.enospc_max_retries = options.flush_enospc_max_retries;
+  policy.initial_backoff_micros = options.flush_initial_backoff_micros;
+  policy.max_backoff_micros = options.flush_max_backoff_micros;
+  writer_->set_retry_policy(policy);
+  writer_->set_stall_callback([this](bool stalled) {
+    {
+      std::lock_guard lock(gate_mu_);
+      stalled_.store(stalled, std::memory_order_release);
+    }
+    gate_cv_.notify_all();
+    // a = 1 entering the stall, 0 leaving it.
+    MORPH_TRACE("wal.stall", stalled ? 1 : 0, 0);
+  });
   writer_->Start(last_replayed);
   // The durability pin: truncation must never advance the (persisted) base
   // past a record that has not been flushed — after a crash the chain would
@@ -87,6 +103,27 @@ Status Wal::OpenDurable(const WalOptions& options) {
 Lsn Wal::Append(LogRecord rec) {
   MORPH_FAILPOINT_VOID("wal.append");
   MORPH_COUNTER_INC("wal.appends");
+  // ENOSPC admission gate: while the writer is stalled waiting for space,
+  // new appends queue up *here* — before an LSN is assigned, before any
+  // in-memory state grows — so committers feel backpressure as latency and
+  // the log does not balloon while the disk is full. The writer's retry
+  // loop guarantees the stall clears (space freed or writer death), so
+  // this wait is always bounded by the retry budget.
+  if (writer_ && stalled_.load(std::memory_order_acquire)) {
+    MORPH_COUNTER_INC("wal.stall.appends_gated");
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::unique_lock gate_lock(gate_mu_);
+      gate_cv_.wait(gate_lock, [&] {
+        return !stalled_.load(std::memory_order_acquire);
+      });
+    }
+    MORPH_HISTOGRAM_NANOS(
+        "wal.stall.wait_nanos",
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
   Lsn lsn = kInvalidLsn;
   {
     std::unique_lock lock(mu_);
@@ -115,6 +152,42 @@ Status Wal::Sync(Lsn lsn) {
   return writer_->WaitDurable(lsn);
 }
 
+Status Wal::WaitWritable(int64_t timeout_millis) {
+  {
+    std::shared_lock lock(mu_);
+    if (!append_error_.ok()) return append_error_;
+  }
+  if (!writer_) return Status::OK();
+  if (stalled_.load(std::memory_order_acquire)) {
+    MORPH_COUNTER_INC("wal.stall.admission_waits");
+    const auto t0 = std::chrono::steady_clock::now();
+    bool opened;
+    {
+      std::unique_lock gate_lock(gate_mu_);
+      opened = gate_cv_.wait_for(
+          gate_lock, std::chrono::milliseconds(timeout_millis),
+          [&] { return !stalled_.load(std::memory_order_acquire); });
+    }
+    MORPH_HISTOGRAM_NANOS(
+        "wal.stall.wait_nanos",
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (!opened) {
+      return Status::NoSpace(
+          "WAL admission stalled on ENOSPC for more than " +
+          std::to_string(timeout_millis) +
+          " ms; retry the commit after space frees");
+    }
+  }
+  return writer_->health();
+}
+
+Status Wal::Scrub() {
+  if (!segmented_) return Status::OK();
+  return segmented_->Scrub();
+}
+
 Lsn Wal::durable_lsn() const {
   if (writer_) return writer_->durable_lsn();
   return LastLsn();
@@ -123,6 +196,13 @@ Lsn Wal::durable_lsn() const {
 void Wal::SimulateCrash() {
   if (writer_) writer_->Abandon();
   if (segmented_) segmented_->Abandon();
+  // Defensive: the writer's exit clears the stall, but a gate left shut by
+  // any path would wedge the next incarnation's test harness.
+  {
+    std::lock_guard lock(gate_mu_);
+    stalled_.store(false, std::memory_order_release);
+  }
+  gate_cv_.notify_all();
 }
 
 Lsn Wal::LastLsn() const {
@@ -283,6 +363,10 @@ void Wal::TruncateBefore(Lsn keep_from) {
     // and the worst case is segments lingering until the next pass.
     const Status st = segmented_->RecycleBefore(keep_from);
     if (!st.ok()) MORPH_COUNTER_INC("wal.recycle_errors");
+    // Freed segments are exactly what an ENOSPC-stalled flush is waiting
+    // for: wake the writer out of its backoff so the stall clears now, not
+    // a backoff period from now.
+    if (st.ok() && writer_) writer_->Nudge();
   }
   MORPH_COUNTER_ADD("wal.records_truncated", dropped);
   // a = new first LSN, b = records dropped.

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -32,6 +34,21 @@ struct WalOptions {
   size_t segment_bytes = 256 * 1024;
   /// Max recycled segment files kept for reuse.
   size_t recycle_pool_max = 4;
+  /// Group-commit flush retry budgets (see wal::RetryPolicy): transient
+  /// faults get `flush_max_retries` attempts with capped exponential
+  /// backoff; ENOSPC gets the far more patient `flush_enospc_max_retries`
+  /// while truncation frees segments. Exhausting either kills the writer.
+  int flush_max_retries = 8;
+  int flush_enospc_max_retries = 200;
+  int64_t flush_initial_backoff_micros = 200;
+  int64_t flush_max_backoff_micros = 50'000;
+  /// OpenDurable's replay already verifies every frame checksum; with this
+  /// set, mid-chain damage additionally quarantines the damaged segment and
+  /// its successors (rename to quarantine-<id>.bad, manifest rewritten to
+  /// the clean prefix). OpenDurable still fails loudly with Corruption
+  /// naming the lost LSN range; the *next* OpenDurable recovers the
+  /// surviving prefix instead of failing forever.
+  bool scrub_on_open = false;
 };
 
 /// \brief The write-ahead log.
@@ -83,6 +100,20 @@ class Wal {
   /// mode: waits for the group-commit writer's flush horizon to pass `lsn`,
   /// surfacing any writer-side I/O error or injected fault.
   Status Sync(Lsn lsn);
+
+  /// \brief Admission check for new commits. Returns OK immediately when
+  /// the log is healthy. While the writer is stalled on ENOSPC, waits up to
+  /// `timeout_millis` for the stall to clear (truncation freeing segments),
+  /// then returns a retryable Status::NoSpace — so a caller can refuse the
+  /// commit *before* applying anything, instead of halting after an
+  /// unsyncable apply. Also surfaces a dead writer's terminal status and
+  /// any recorded append error.
+  Status WaitWritable(int64_t timeout_millis = 1000);
+
+  /// \brief Re-reads every closed segment of the durable chain and verifies
+  /// header, checksums, decodability and LSN contiguity (see
+  /// SegmentedLog::Scrub). OK in in-memory mode.
+  Status Scrub();
 
   /// \brief Highest durable LSN: LastLsn() in in-memory mode, the
   /// group-commit flush horizon in durable mode.
@@ -204,6 +235,12 @@ class Wal {
 
  private:
   mutable std::shared_mutex mu_;
+  /// ENOSPC admission gate: set/cleared by the writer's stall callback.
+  /// Appends block on gate_cv_ while stalled; the writer's retry loop
+  /// guarantees the stall always clears (space freed, or writer death).
+  std::atomic<bool> stalled_{false};
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
   /// LSN of records_[0]; grows when the prefix is truncated.
   Lsn base_lsn_ = 1;
   std::deque<LogRecord> records_;

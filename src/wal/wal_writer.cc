@@ -1,5 +1,6 @@
 #include "wal/wal_writer.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/failpoint.h"
@@ -57,6 +58,14 @@ void GroupCommitWriter::Publish(Lsn lsn) {
   work_cv_.notify_one();
 }
 
+void GroupCommitWriter::Nudge() {
+  {
+    std::lock_guard lock(mu_);
+    nudged_ = true;
+  }
+  work_cv_.notify_all();
+}
+
 Status GroupCommitWriter::WaitDurable(Lsn lsn) {
   std::unique_lock lock(mu_);
   if (!started_ && durable_lsn() < lsn) {
@@ -70,7 +79,29 @@ Status GroupCommitWriter::WaitDurable(Lsn lsn) {
   return death_status_;
 }
 
+Status GroupCommitWriter::health() const {
+  std::lock_guard lock(mu_);
+  return dead_ ? death_status_ : Status::OK();
+}
+
 void GroupCommitWriter::Run() {
+  // Stall state is writer-local; the callback fans it out to the Wal's
+  // admission gate. Every exit path below clears it — a gate that stays
+  // shut after the writer died would wedge appenders forever.
+  bool stalled = false;
+  const auto set_stall = [&](bool s) {
+    if (stalled == s) return;
+    stalled = s;
+    // Two separate macro sites: MORPH_COUNTER_INC caches its Counter* in a
+    // function-local static, so one site with a ternary name would bind to
+    // whichever counter it resolved first and miscount the other forever.
+    if (s) {
+      MORPH_COUNTER_INC("wal.stall.entered");
+    } else {
+      MORPH_COUNTER_INC("wal.stall.exited");
+    }
+    if (on_stall_) on_stall_(s);
+  };
   for (;;) {
     Lsn target = 0;
     {
@@ -91,13 +122,58 @@ void GroupCommitWriter::Run() {
         st = Failpoints::Instance().Evaluate("wal.group_commit.flush");
       }
       if (st.ok()) {
-        const auto t0 = std::chrono::steady_clock::now();
-        st = log_->Flush();
-        const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0);
-        MORPH_HISTOGRAM_NANOS("wal.group_commit.flush_nanos", elapsed.count());
+        int transient_retries = 0;
+        int enospc_retries = 0;
+        int64_t backoff_micros = std::max<int64_t>(
+            1, policy_.initial_backoff_micros);
+        for (;;) {
+          const auto t0 = std::chrono::steady_clock::now();
+          st = log_->Flush();
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0);
+          MORPH_HISTOGRAM_NANOS("wal.group_commit.flush_nanos",
+                                elapsed.count());
+          if (st.ok() || !st.IsRetryable()) break;
+          // Retryable failure: the SegmentedLog kept the staged records and
+          // will repair (rotate to a fresh segment) on the next Flush —
+          // committers in WaitDurable see latency, not an error, and no
+          // record is acked off the failed fsync's descriptor.
+          const bool nospace = st.IsNoSpace();
+          set_stall(nospace);
+          int& retries = nospace ? enospc_retries : transient_retries;
+          const int budget =
+              nospace ? policy_.enospc_max_retries : policy_.max_retries;
+          if (++retries > budget) {
+            st = Status::PermanentIOError(
+                "WAL flush retry budget exhausted (" + std::to_string(budget) +
+                (nospace ? " ENOSPC" : " transient") +
+                " retries); last error: " + st.ToString());
+            break;
+          }
+          MORPH_COUNTER_INC("wal.flush.retries");
+          bool abandoned = false;
+          {
+            // Interruptible backoff: Stop() drains through the remaining
+            // retries, Abandon() bails immediately, Nudge() (truncation
+            // freed segments) retries without waiting out the timer.
+            std::unique_lock lock(mu_);
+            nudged_ = false;
+            work_cv_.wait_for(lock, std::chrono::microseconds(backoff_micros),
+                              [&] { return stop_ || nudged_; });
+            abandoned = abandon_;
+          }
+          if (abandoned) {
+            set_stall(false);
+            return;
+          }
+          backoff_micros =
+              std::min(backoff_micros * 2, policy_.max_backoff_micros);
+        }
       }
+      set_stall(false);
     } catch (...) {
+      set_stall(false);
       std::lock_guard lock(mu_);
       dead_ = true;
       death_status_ = Status::Internal("group-commit writer crashed");

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/io_env.h"
 #include "common/random.h"
 #include "common/relops.h"
 #include "engine/blocking_transform.h"
@@ -222,6 +224,55 @@ TEST_F(DatabaseTest, ConcurrentTransfersPreserveTotalBalance) {
     total += rec.row[1].AsInt64();
   });
   EXPECT_EQ(total, int64_t{kAccounts} * 1000);
+}
+
+// --- Commit admission under ENOSPC backpressure -----------------------------------------
+
+TEST(CommitBackpressureTest, EnospcRefusalIsRetryableAndLeavesTxnIntact) {
+  const std::string dir = ::testing::TempDir() + "/morph_engine_backpressure";
+  std::filesystem::remove_all(dir);
+  Database db;
+  wal::WalOptions wopts;
+  wopts.dir = dir;
+  wopts.flush_initial_backoff_micros = 50;
+  wopts.flush_max_backoff_micros = 2'000;
+  wopts.flush_enospc_max_retries = 1'000'000;  // the stall outlives the test
+  ASSERT_TRUE(db.wal()->OpenDurable(wopts).ok());
+  auto table = *db.CreateTable("accounts", AccountSchema());
+  ASSERT_TRUE(db.BulkLoad(table.get(), {Row({1, 100, "alice"})}).ok());
+
+  // Stage the transaction while the disk is healthy, and drain the writer so
+  // its records are already durable when the disk fills.
+  auto t = db.Begin();
+  ASSERT_TRUE(db.Update(t, table.get(), Row({1}), {{1, Value(42)}}).ok());
+  ASSERT_TRUE(db.wal()->Sync(db.wal()->LastLsn()).ok());
+
+  // The disk fills with no horizon; an unrelated append triggers the flush
+  // that discovers it and stalls the writer.
+  ASSERT_TRUE(IoFaults::Instance().ConfigureFromString("wal.fsync=enospc").ok());
+  wal::LogRecord poke;
+  poke.type = wal::LogRecordType::kBegin;
+  poke.txn_id = 9999;
+  db.wal()->Append(std::move(poke));
+  while (IoFaults::Instance().fires("wal.fsync") < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Refused pre-commit-apply with a *retryable* status: the engine is not
+  // halted and the transaction is still open — its in-place 2PL writes and
+  // record locks are untouched, so it can retry or abort cleanly.
+  const Status refused = db.Commit(t);
+  EXPECT_TRUE(refused.IsNoSpace()) << refused.ToString();
+  EXPECT_TRUE(refused.IsRetryable()) << refused.ToString();
+  EXPECT_FALSE(db.wal_failed());
+
+  // Space frees (checkpoint truncation nudges the writer): the SAME
+  // transaction object retries its Commit and succeeds.
+  IoFaults::Instance().DisableAll();
+  db.wal()->TruncateBefore(1);
+  EXPECT_TRUE(db.Commit(t).ok());
+  EXPECT_EQ(table->Get(Row({1}))->row[1], Value(42));
+  std::filesystem::remove_all(dir);
 }
 
 // --- Recovery ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/io_env.h"
 #include "engine/database.h"
 #include "tests/test_util.h"
 #include "wal/log_record.h"
@@ -41,6 +42,7 @@ class WalSegmentTest : public ::testing::Test {
   }
   void TearDown() override {
     Failpoints::Instance().DisableAll();
+    IoFaults::Instance().DisableAll();
     std::filesystem::remove_all(dir_);
   }
 
@@ -411,11 +413,15 @@ TEST_F(WalSegmentTest, CommitSyncFailureHaltsEngine) {
   // The writer dies on its next flush: Commit applies the transaction in
   // memory, then Sync surfaces the I/O error. In-memory state has diverged
   // from the durable log, so the engine must halt instead of acknowledging
-  // commits the log can no longer persist.
-  Failpoints::Instance().Error("wal.group_commit.flush",
-                               Status::IOError("injected"));
+  // commits the log can no longer persist. Drain the writer before arming
+  // so the fatal flush is deterministically the post-apply COMMIT flush —
+  // if the writer instead died flushing the INSERT record, Commit's
+  // admission check would refuse it pre-apply and no halt would be needed.
   auto t2 = db.Begin();
   ASSERT_TRUE(db.Insert(t2, table.get(), Row({2, 2, "b"})).ok());
+  ASSERT_TRUE(db.wal()->Sync(db.wal()->LastLsn()).ok());
+  Failpoints::Instance().Error("wal.group_commit.flush",
+                               Status::IOError("injected"));
   EXPECT_TRUE(db.Commit(t2).IsIOError());
   EXPECT_TRUE(db.wal_failed());
   Failpoints::Instance().DisableAll();
@@ -424,6 +430,77 @@ TEST_F(WalSegmentTest, CommitSyncFailureHaltsEngine) {
   auto t3 = db.Begin();
   ASSERT_TRUE(db.Insert(t3, table.get(), Row({3, 3, "c"})).ok());
   EXPECT_TRUE(db.Commit(t3).IsInternal());
+}
+
+TEST_F(WalSegmentTest, ShortWritesAndEintrAcrossRotationsAreInvisible) {
+  // Regression for the partial-write family: POSIX write(2) may return
+  // having consumed any prefix of the buffer, and both write and fsync may
+  // be interrupted by a signal. Inject short writes on every write site the
+  // rotation path touches (record frames, segment headers, manifest temp
+  // file) plus EINTR on the fsync path, run a multi-rotation workload, and
+  // demand the faults are completely invisible: no error surfaces and every
+  // record survives reopen byte-for-byte.
+  constexpr const char* kSpec =
+      "wal.write=short@2*8;wal.header.write=short@1*2;"
+      "wal.manifest.write=short@1*2;wal.fsync=eintr*4";
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    ASSERT_TRUE(IoFaults::Instance().ConfigureFromString(kSpec).ok());
+    for (int i = 0; i < 200; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+    ASSERT_GT(wal.segmented_log()->num_segments(), 3u);
+    // Each injected site must actually have fired — a spec that never
+    // reaches its site proves nothing.
+    EXPECT_GT(IoFaults::Instance().fires("wal.write"), 0u);
+    EXPECT_GT(IoFaults::Instance().fires("wal.header.write"), 0u);
+    EXPECT_GT(IoFaults::Instance().fires("wal.manifest.write"), 0u);
+    EXPECT_GT(IoFaults::Instance().fires("wal.fsync"), 0u);
+    IoFaults::Instance().DisableAll();
+  }
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  ASSERT_EQ(reloaded.size(), 200u);
+  for (Lsn l = 1; l <= 200; ++l) {
+    auto rec = reloaded.At(l);
+    ASSERT_TRUE(rec.ok()) << "lsn " << l;
+    EXPECT_EQ(rec->key, Row({static_cast<int64_t>(l - 1)}));
+  }
+}
+
+TEST_F(WalSegmentTest, OpenSweepsOrphansButPreservesQuarantine) {
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    for (int i = 0; i < 50; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  }
+  // Garbage a dead incarnation can leave behind: a segment file created
+  // right before the crash but never listed in the manifest, and the
+  // manifest rewrite's temp file. Plus one file that is NOT garbage: a
+  // quarantined segment set aside by a previous scrub for offline salvage.
+  const std::string orphan_seg = SegmentedLog::SegmentPath(dir_, 999);
+  const std::string stale_tmp = dir_ + "/wal.manifest.tmp";
+  const std::string quarantined = dir_ + "/quarantine-7.bad";
+  for (const std::string& path : {orphan_seg, stale_tmp, quarantined}) {
+    std::ofstream f(path, std::ios::binary);
+    f << "leftover bytes from a dead incarnation";
+    ASSERT_TRUE(f.good());
+  }
+
+  Wal reloaded;
+  ASSERT_TRUE(reloaded.OpenDurable(SmallSegments()).ok());
+  EXPECT_FALSE(std::filesystem::exists(orphan_seg))
+      << "unlisted segment file must be swept";
+  EXPECT_FALSE(std::filesystem::exists(stale_tmp))
+      << "stale manifest temp file must be swept";
+  EXPECT_TRUE(std::filesystem::exists(quarantined))
+      << "quarantined evidence must never be swept";
+  // The sweep touched nothing the manifest lists: all records intact.
+  EXPECT_EQ(reloaded.size(), 50u);
+  for (Lsn l = 1; l <= 50; ++l) {
+    ASSERT_TRUE(reloaded.At(l).ok()) << "lsn " << l;
+  }
 }
 
 TEST_F(WalSegmentTest, OpenDurableRejectsUsedWal) {
