@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/metrics.h"
 
@@ -153,58 +155,44 @@ Status ParseOneFault(const std::string& entry, std::string* site,
   *site = entry.substr(0, eq);
   std::string action = entry.substr(eq + 1);
 
-  // Peel the :transient / :permanent qualifier (it always comes last or
-  // after the count suffixes; accept it anywhere after the kind by just
-  // searching for the colon).
-  bool saw_qualifier = false;
-  const size_t colon = action.find(':');
-  if (colon != std::string::npos) {
-    const std::string qual = action.substr(colon + 1);
-    if (qual == "transient") {
-      config->transient = true;
-    } else if (qual == "permanent") {
-      config->transient = false;
-    } else {
-      return Status::InvalidArgument("iofault spec '" + entry +
-                                     "': unknown qualifier ':" + qual + "'");
-    }
-    saw_qualifier = true;
-    action = action.substr(0, colon);
-  }
-
-  // Peel @N (fire_on_hit) and *M (max_fires) suffixes, either order.
+  // Peel the suffixes — `:transient`/`:permanent` qualifier, `@N`
+  // (fire_on_hit), `*M` (max_fires) — right to left, so they compose in any
+  // order after the kind: `eio@2:transient` and `eio:transient@2` parse
+  // identically.
   bool saw_max_fires = false;
   for (;;) {
-    const size_t at = action.rfind('@');
-    const size_t star = action.rfind('*');
-    size_t pos;
-    char which;
-    if (at != std::string::npos && (star == std::string::npos || at > star)) {
-      pos = at;
-      which = '@';
-    } else if (star != std::string::npos) {
-      pos = star;
-      which = '*';
+    const size_t pos = action.find_last_of(":@*");
+    if (pos == std::string::npos) break;
+    const char which = action[pos];
+    const std::string suffix = action.substr(pos + 1);
+    if (which == ':') {
+      if (suffix == "transient") {
+        config->transient = true;
+      } else if (suffix == "permanent") {
+        config->transient = false;
+      } else {
+        return Status::InvalidArgument("iofault spec '" + entry +
+                                       "': unknown qualifier ':" + suffix +
+                                       "'");
+      }
     } else {
-      break;
-    }
-    const std::string digits = action.substr(pos + 1);
-    if (digits.empty() ||
-        digits.find_first_not_of("0123456789") != std::string::npos) {
-      return Status::InvalidArgument("iofault spec '" + entry +
-                                     "': bad count suffix '" + which + digits +
-                                     "'");
-    }
-    const uint64_t value = std::strtoull(digits.c_str(), nullptr, 10);
-    if (value == 0) {
-      return Status::InvalidArgument("iofault spec '" + entry +
-                                     "': count must be >= 1");
-    }
-    if (which == '@') {
-      config->fire_on_hit = value;
-    } else {
-      config->max_fires = static_cast<int64_t>(value);
-      saw_max_fires = true;
+      if (suffix.empty() ||
+          suffix.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("iofault spec '" + entry +
+                                       "': bad count suffix '" + which +
+                                       suffix + "'");
+      }
+      const uint64_t value = std::strtoull(suffix.c_str(), nullptr, 10);
+      if (value == 0) {
+        return Status::InvalidArgument("iofault spec '" + entry +
+                                       "': count must be >= 1");
+      }
+      if (which == '@') {
+        config->fire_on_hit = value;
+      } else {
+        config->max_fires = static_cast<int64_t>(value);
+        saw_max_fires = true;
+      }
     }
     action = action.substr(0, pos);
   }
@@ -222,20 +210,34 @@ Status ParseOneFault(const std::string& entry, std::string* site,
                                    "': unknown fault kind '" + action + "'");
   }
 
-  // A ":transient" eio with no explicit fire budget defaults to a single
-  // fire: a transient fault that fires forever is a permanent fault in
-  // effect, and the injector refuses to blur that line silently.
-  if (config->kind == IoFaults::Kind::kEio && config->transient &&
-      !saw_max_fires) {
-    config->max_fires = 1;
+  if (!saw_max_fires) {
+    // A ":transient" eio with no explicit fire budget defaults to a single
+    // fire: a transient fault that fires forever is a permanent fault in
+    // effect, and the injector refuses to blur that line silently.
+    if (config->kind == IoFaults::Kind::kEio && config->transient) {
+      config->max_fires = 1;
+    }
+    // eintr/short default to a single fire too: the retried syscall
+    // re-evaluates the same site, so an unbounded eintr fires on every
+    // iteration of the retry loop and the thread spins forever (and an
+    // unbounded short write never finishes transferring). An explicit *M
+    // still allows multiple fires.
+    if (config->kind == IoFaults::Kind::kEintr ||
+        config->kind == IoFaults::Kind::kShortWrite) {
+      config->max_fires = 1;
+    }
   }
-  (void)saw_qualifier;
   return Status::OK();
 }
 
 }  // namespace
 
 Status IoFaults::ConfigureFromString(const std::string& spec) {
+  // Parse the whole spec before arming anything: a bad entry must not leave
+  // the earlier entries applied — especially via ConfigureFromEnv, where the
+  // error is only a warning and a half-armed configuration would silently
+  // diverge from what MORPH_IOFAULTS says.
+  std::vector<std::pair<std::string, Config>> parsed;
   size_t start = 0;
   while (start <= spec.size()) {
     size_t end = spec.find_first_of(";,", start);
@@ -246,8 +248,9 @@ Status IoFaults::ConfigureFromString(const std::string& spec) {
     std::string site;
     Config config;
     MORPH_RETURN_NOT_OK(ParseOneFault(entry, &site, &config));
-    Enable(site, config);
+    parsed.emplace_back(std::move(site), config);
   }
+  for (const auto& [site, config] : parsed) Enable(site, config);
   return Status::OK();
 }
 

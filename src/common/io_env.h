@@ -49,7 +49,8 @@ extern std::atomic<int> g_armed;
 ///  - **eintr**:  the syscall reports EINTR once. Proves EINTR retry loops;
 ///                applies to write and fsync sites.
 ///
-/// Grammar (sites separated by `;` or `,`):
+/// Grammar (sites separated by `;` or `,`; the suffixes compose in any
+/// order after the kind):
 ///
 ///   MORPH_IOFAULTS="site=kind[@N][*M][:transient|:permanent];..."
 ///
@@ -60,7 +61,13 @@ extern std::atomic<int> g_armed;
 ///
 /// A `:transient` eio with no explicit `*M` defaults to a single fire: a
 /// "transient" fault that fires forever is a permanent fault in effect, and
-/// the injector refuses to blur that line silently.
+/// the injector refuses to blur that line silently. `eintr` and `short`
+/// default to a single fire for a harder reason: the retried syscall
+/// re-evaluates the same site, so an unbounded eintr would fire on every
+/// retry and spin the thread forever. An explicit `*M` bounds them instead.
+///
+/// A spec is applied atomically: if any entry fails to parse, no entry is
+/// armed.
 ///
 /// Thread safety: all methods are safe to call concurrently.
 class IoFaults {

@@ -431,9 +431,21 @@ Status SegmentedLog::RepairLocked() {
     // hundreds per second — accretes empty segments and an ever-growing
     // manifest without bound, and each manifest rewrite gets slower until
     // the stall can no longer clear. With it an episode costs O(1) files.
+    std::vector<Segment> culled;
     while (segments_.size() > 1) {
       const Segment& prev = segments_[segments_.size() - 2];
       if (prev.first_lsn != kInvalidLsn || prev.bytes != 0) break;
+      culled.push_back(prev);
+      segments_.erase(segments_.end() - 2);
+    }
+    // Manifest first, files second — same ordering as RecycleBefore: once
+    // the manifest no longer lists a victim, a crash (or a failed rename on
+    // this already-sick disk) only leaves orphan files the next Open sweeps
+    // up. The reverse order would let a crash between rename and rewrite
+    // leave the manifest pointing at a file that is now recycle-<id>.pool,
+    // which the next Open reports as Corruption.
+    MORPH_RETURN_NOT_OK(WriteManifestLocked());
+    for (const Segment& prev : culled) {
       const std::string path = SegmentPath(options_.dir, prev.id);
       if (pool_.size() < options_.recycle_pool_max) {
         // Pool rather than delete: a rename allocates no data blocks, so
@@ -447,9 +459,7 @@ Status SegmentedLog::RepairLocked() {
       } else {
         (void)env_->Remove(path, "wal.repair.remove");
       }
-      segments_.erase(segments_.end() - 2);
     }
-    MORPH_RETURN_NOT_OK(WriteManifestLocked());
   }
   return Status::OK();
 }

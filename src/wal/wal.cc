@@ -56,6 +56,11 @@ Status Wal::OpenDurable(const WalOptions& options) {
     auto base = segmented_->Open(
         sopts, [this](LogRecord&& rec) { records_.push_back(std::move(rec)); });
     if (!base.ok()) {
+      // Open may have replayed a prefix before failing (e.g. the quarantine
+      // path returns Corruption mid-replay); drop it so a retried
+      // OpenDurable on this Wal is not rejected as non-fresh.
+      records_.clear();
+      base_lsn_ = 1;
       segmented_.reset();
       return base.status();
     }

@@ -109,6 +109,31 @@ TEST_F(IoFaultsGrammarTest, SuffixesComposeInEitherOrder) {
   EXPECT_EQ(faults.Evaluate("t").kind, IoFaults::Kind::kOff);
 }
 
+TEST_F(IoFaultsGrammarTest, QualifierComposesInEitherOrderWithCounts) {
+  // The grammar promises the suffixes compose in any order after the kind:
+  // `eio:transient@2` must parse identically to `eio@2:transient`.
+  ASSERT_TRUE(
+      IoFaults::Instance().ConfigureFromString("a=eio:transient@2").ok());
+  auto& faults = IoFaults::Instance();
+  EXPECT_EQ(faults.Evaluate("a").kind, IoFaults::Kind::kOff);
+  const IoFaults::Shot shot = faults.Evaluate("a");
+  EXPECT_EQ(shot.kind, IoFaults::Kind::kEio);
+  EXPECT_TRUE(shot.transient);
+  // The single-fire default for :transient applies in this spelling too.
+  EXPECT_EQ(faults.Evaluate("a").kind, IoFaults::Kind::kOff);
+}
+
+TEST_F(IoFaultsGrammarTest, EintrAndShortDefaultToSingleFire) {
+  // An unbudgeted eintr would otherwise fire on every iteration of the
+  // retry loop it interrupts — an infinite spin, not "EINTR once".
+  ASSERT_TRUE(IoFaults::Instance().ConfigureFromString("e=eintr;s=short").ok());
+  auto& faults = IoFaults::Instance();
+  EXPECT_EQ(faults.Evaluate("e").kind, IoFaults::Kind::kEintr);
+  EXPECT_EQ(faults.Evaluate("e").kind, IoFaults::Kind::kOff);
+  EXPECT_EQ(faults.Evaluate("s").kind, IoFaults::Kind::kShortWrite);
+  EXPECT_EQ(faults.Evaluate("s").kind, IoFaults::Kind::kOff);
+}
+
 TEST_F(IoFaultsGrammarTest, RejectsMalformedSpecs) {
   auto& faults = IoFaults::Instance();
   EXPECT_FALSE(faults.ConfigureFromString("nonsense").ok());
@@ -117,6 +142,16 @@ TEST_F(IoFaultsGrammarTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(faults.ConfigureFromString("x=eio@0").ok());
   EXPECT_FALSE(faults.ConfigureFromString("x=eio:sometimes").ok());
   EXPECT_FALSE(faults.ConfigureFromString("=eio").ok());
+}
+
+TEST_F(IoFaultsGrammarTest, MalformedEntryArmsNothing) {
+  // A spec is applied atomically: a bad entry must not leave earlier entries
+  // armed, or MORPH_IOFAULTS (where the error is only a warning) silently
+  // runs with a configuration that differs from what the variable says.
+  auto& faults = IoFaults::Instance();
+  EXPECT_FALSE(faults.ConfigureFromString("a.write=eio;x=wat").ok());
+  EXPECT_FALSE(IoFaults::armed());
+  EXPECT_EQ(faults.Evaluate("a.write").kind, IoFaults::Kind::kOff);
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +203,27 @@ TEST_F(IoFilePrimitiveTest, EintrIsRetriedOnWriteAndSync) {
   }
   EXPECT_EQ(IoFaults::Instance().fires("t.write"), 3u);
   EXPECT_EQ(IoFaults::Instance().fires("t.fsync"), 2u);
+  auto read_back = IoEnv::Default().ReadFile(path_, "t.read");
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, data);
+}
+
+TEST_F(IoFilePrimitiveTest, UnbudgetedEintrCompletesInsteadOfSpinning) {
+  // Regression: without the single-fire default, the retried syscall
+  // re-evaluates the same site, the fault fires again, and the writer
+  // thread spins in the EINTR loop forever.
+  ASSERT_TRUE(IoFaults::Instance()
+                  .ConfigureFromString("t.write=eintr;t.fsync=eintr")
+                  .ok());
+  const std::string data(1024, 'y');
+  {
+    auto file = IoEnv::Default().OpenForWrite(path_, "t.open");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Write(data, "t.write").ok());
+    ASSERT_TRUE((*file)->Sync("t.fsync").ok());
+  }
+  EXPECT_EQ(IoFaults::Instance().fires("t.write"), 1u);
+  EXPECT_EQ(IoFaults::Instance().fires("t.fsync"), 1u);
   auto read_back = IoEnv::Default().ReadFile(path_, "t.read");
   ASSERT_TRUE(read_back.ok());
   EXPECT_EQ(*read_back, data);
@@ -652,6 +708,12 @@ TEST_F(IoFaultMatrixTest, QuarantineOnOpenRecoversThePrefix) {
     EXPECT_NE(st.ToString().find("quarantine"), std::string::npos)
         << st.ToString();
     EXPECT_NE(st.ToString().find("LSN"), std::string::npos) << st.ToString();
+    // The failed open left this Wal fresh (any partially replayed prefix
+    // dropped), so the documented recovery flow — retry OpenDurable on the
+    // same object — succeeds on the surviving prefix.
+    const Status retry = w.OpenDurable(wopts);
+    ASSERT_TRUE(retry.ok()) << retry.ToString();
+    EXPECT_EQ(w.FirstLsn(), 1u);
   }
   wal::Wal survivor;
   ASSERT_TRUE(survivor.OpenDurable(wopts).ok());

@@ -468,6 +468,54 @@ TEST_F(WalSegmentTest, ShortWritesAndEintrAcrossRotationsAreInvisible) {
   }
 }
 
+TEST_F(WalSegmentTest, RepairCullRewritesManifestBeforeMovingFiles) {
+  // Regression: RepairLocked's empty-segment cull must rewrite the manifest
+  // BEFORE renaming culled files into the recycle pool — the same ordering
+  // RecycleBefore uses. The old file-first order let a failed manifest
+  // rewrite (entirely plausible on the sick disk that triggered the repair)
+  // leave the on-disk manifest listing segments whose files were already
+  // renamed to recycle-<id>.pool, making every subsequent Open fail with
+  // Corruption — a permanently unopenable WAL.
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    for (int i = 0; i < 20; ++i) wal.Append(MakeInsert(1, 1, i));
+    ASSERT_TRUE(wal.Sync(wal.LastLsn()).ok());
+  }
+  // An append-free restart leaves its fresh segment closed and empty in the
+  // chain — a cull victim for the next repair.
+  { Wal wal; ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok()); }
+
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.OpenDurable(SmallSegments()).ok());
+    // One transient fsync failure forces a fsync-gate repair, whose rotation
+    // leaves the truncated stub empty and culls it together with the empty
+    // restart segment; the permanent manifest fault then fails the repair's
+    // manifest rewrite mid-cull and halts the writer.
+    ASSERT_TRUE(IoFaults::Instance()
+                    .ConfigureFromString(
+                        "wal.fsync=eio:transient;wal.manifest.write=eio")
+                    .ok());
+    wal.Append(MakeInsert(1, 1, 100));
+    const Status st = wal.Sync(wal.LastLsn());
+    EXPECT_FALSE(st.ok());
+    EXPECT_GT(IoFaults::Instance().fires("wal.fsync"), 0u);
+    EXPECT_GT(IoFaults::Instance().fires("wal.manifest.write"), 0u);
+    IoFaults::Instance().DisableAll();
+    wal.SimulateCrash();
+  }
+  // Every file the on-disk manifest lists must still be where the manifest
+  // says it is: the chain reopens and the acked prefix is intact.
+  Wal reloaded;
+  const Status open = reloaded.OpenDurable(SmallSegments());
+  ASSERT_TRUE(open.ok()) << open.ToString();
+  EXPECT_EQ(reloaded.LastLsn(), 20u);
+  for (Lsn l = 1; l <= 20; ++l) {
+    ASSERT_TRUE(reloaded.At(l).ok()) << "lsn " << l;
+  }
+}
+
 TEST_F(WalSegmentTest, OpenSweepsOrphansButPreservesQuarantine) {
   {
     Wal wal;
